@@ -1,0 +1,12 @@
+"""Benchmark harness reproducing the paper's per-theorem experiments.
+
+Each ``bench_eNN_*.py`` regenerates one experiment from DESIGN.md's index:
+it prints a table of the measured series (through ``capsys.disabled`` so it
+survives pytest capture), writes the same table to
+``benchmarks/reports/``, and times its core kernel with pytest-benchmark.
+
+The paper has no empirical tables/figures (it is a theory paper); the
+experiments measure the theorems' quantitative claims -- guarantee
+satisfaction rates, oracle-call counts, communication bits, per-item
+times -- at laptop scale with the constants documented in EXPERIMENTS.md.
+"""

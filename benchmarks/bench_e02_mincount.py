@@ -1,0 +1,68 @@
+"""E2 -- Theorem 3: ApproxModelCountMin is an (eps, delta) counter with
+O(Thresh * m) oracle calls per repetition on CNF, and an FPRAS on DNF."""
+
+import random
+
+from benchmarks.harness import (
+    LIGHT_PARAMS,
+    emit,
+    format_table,
+    success_rate,
+)
+from repro.core.min_count import approx_model_count_min
+from repro.formulas.generators import fixed_count_cnf, fixed_count_dnf
+
+TRIALS = 4
+
+
+def run_sweep():
+    rows = []
+    for n in (8, 10):
+        log2c = n - 3
+        truth = 1 << log2c
+        cnf = fixed_count_cnf(n, log2c)
+        estimates = []
+        calls = 0
+        for seed in range(TRIALS):
+            result = approx_model_count_min(cnf, LIGHT_PARAMS,
+                                            random.Random(1000 + seed))
+            estimates.append(result.estimate)
+            calls += result.oracle_calls
+        bound = (LIGHT_PARAMS.thresh * (2 * 3 * n + 2)
+                 * LIGHT_PARAMS.repetitions)
+        rows.append((f"CNF n={n}", truth,
+                     success_rate(estimates, truth, LIGHT_PARAMS.eps),
+                     round(calls / TRIALS), bound))
+    for n in (10, 14, 18):
+        log2c = n - 3
+        truth = 1 << log2c
+        dnf = fixed_count_dnf(n, log2c)
+        estimates = [
+            approx_model_count_min(dnf, LIGHT_PARAMS,
+                                   random.Random(2000 + s)).estimate
+            for s in range(TRIALS)
+        ]
+        rows.append((f"DNF n={n}", truth,
+                     success_rate(estimates, truth, LIGHT_PARAMS.eps),
+                     0, 0))
+    return rows
+
+
+def test_e02_mincount_guarantee_and_calls(benchmark, capsys):
+    rows = run_sweep()
+    table = format_table(
+        "E2  ApproxModelCountMin (Theorem 3): guarantee and oracle calls",
+        ["instance", "truth", "success rate", "mean oracle calls",
+         "O(p*m*t) bound"],
+        rows,
+    )
+    emit(capsys, "e02_mincount", table)
+
+    assert all(r[2] >= 0.5 for r in rows)
+    for row in rows:
+        if row[4]:  # CNF rows: calls within the Proposition 2 bound.
+            assert row[3] <= row[4]
+
+    formula = fixed_count_dnf(14, 11)
+    benchmark(lambda: approx_model_count_min(formula, LIGHT_PARAMS,
+                                             random.Random(7)))

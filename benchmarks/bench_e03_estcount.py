@@ -1,0 +1,73 @@
+"""E3 -- Theorem 4: ApproxModelCountEst given a valid coarse level r is an
+(eps, delta) counter with O(Thresh * log n * t) oracle queries; the
+FM-supplied r lands in the promise window [2 F0, 50 F0] with high rate."""
+
+import math
+import random
+
+from benchmarks.harness import (
+    BENCH_PARAMS,
+    emit,
+    format_table,
+    success_rate,
+)
+from repro.core.est_count import approx_model_count_est
+from repro.core.fm_count import flajolet_martin_count
+from repro.formulas.generators import fixed_count_cnf
+
+TRIALS = 5
+
+
+def run_sweep():
+    rows = []
+    for n, log2c in ((10, 6), (12, 7)):
+        truth = 1 << log2c
+        cnf = fixed_count_cnf(n, log2c)
+        r_given = log2c + 2  # 2^r = 4 * truth: inside the promise window.
+        est_given = []
+        calls = 0
+        for seed in range(TRIALS):
+            result = approx_model_count_est(
+                cnf, BENCH_PARAMS, random.Random(3000 + seed), r=r_given)
+            est_given.append(result.estimate)
+            calls += result.oracle_calls
+        query_bound = (BENCH_PARAMS.repetitions * BENCH_PARAMS.thresh
+                       * (math.ceil(math.log2(n)) + 2))
+        est_self = [
+            approx_model_count_est(cnf, BENCH_PARAMS,
+                                   random.Random(4000 + s)).estimate
+            for s in range(TRIALS)
+        ]
+        promise_hits = 0
+        for seed in range(TRIALS):
+            fm = flajolet_martin_count(cnf, random.Random(5000 + seed),
+                                       repetitions=9)
+            r = fm.rough_r(n)
+            if 2 * truth <= 2 ** r <= 50 * truth:
+                promise_hits += 1
+        rows.append((f"n={n} |Sol|={truth}",
+                     success_rate(est_given, truth, BENCH_PARAMS.eps),
+                     success_rate(est_self, truth, BENCH_PARAMS.eps),
+                     promise_hits / TRIALS,
+                     round(calls / TRIALS), query_bound))
+    return rows
+
+
+def test_e03_estcount_guarantee(benchmark, capsys):
+    rows = run_sweep()
+    table = format_table(
+        "E3  ApproxModelCountEst (Theorem 4): guarantee given r, "
+        "self-supplied r, promise rate",
+        ["instance", "rate (r given)", "rate (self r)",
+         "r-promise rate", "mean queries", "O(t*Thresh*log n) bound"],
+        rows,
+    )
+    emit(capsys, "e03_estcount", table)
+
+    assert all(r[1] >= 0.6 for r in rows), "given-r guarantee broken"
+    for row in rows:
+        assert row[4] <= row[5], "query count above Theorem 4 bound"
+
+    formula = fixed_count_cnf(10, 6)
+    benchmark(lambda: approx_model_count_est(
+        formula, BENCH_PARAMS, random.Random(7), r=8))

@@ -1,0 +1,67 @@
+"""E5 -- Proposition 1: BoundedSAT makes O(p) oracle calls on CNF and runs
+in polynomial time (linear in k and p) on DNF."""
+
+import random
+import time
+
+from benchmarks.harness import emit, fitted_exponent, format_table
+from repro.core.bounded_sat import bounded_sat_cnf, bounded_sat_dnf
+from repro.formulas.generators import fixed_count_cnf, random_dnf
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.sat.oracle import NpOracle
+
+
+def run_cnf_sweep():
+    rows = []
+    ps, calls = [], []
+    cnf = fixed_count_cnf(14, 12)
+    h = ToeplitzHashFamily(14, 14).sample(random.Random(0))
+    for p in (10, 40, 160):
+        oracle = NpOracle(cnf)
+        models = bounded_sat_cnf(oracle, h, 1, p)
+        rows.append((f"CNF p={p}", len(models), oracle.calls))
+        ps.append(p)
+        calls.append(oracle.calls)
+    return rows, fitted_exponent(ps, calls)
+
+
+def run_dnf_sweep():
+    # Narrow terms (few solutions each) and an uncapping p, so the work
+    # genuinely scales with the number of terms instead of stopping at the
+    # first saturated subcube.
+    rows = []
+    ks, times = [], []
+    rng = random.Random(1)
+    h = ToeplitzHashFamily(16, 16).sample(rng)
+    for k in (8, 32, 128):
+        dnf = random_dnf(rng, 16, k, width=12)
+        t0 = time.perf_counter()
+        for _ in range(5):
+            bounded_sat_dnf(dnf, h, 2, 1_000_000)
+        elapsed = (time.perf_counter() - t0) / 5
+        rows.append((f"DNF k={k}", round(elapsed * 1e6), "-"))
+        ks.append(k)
+        times.append(elapsed)
+    return rows, fitted_exponent(ks, times)
+
+
+def test_e05_boundedsat_costs(benchmark, capsys):
+    cnf_rows, call_slope = run_cnf_sweep()
+    dnf_rows, time_slope = run_dnf_sweep()
+    table = format_table(
+        "E5  BoundedSAT (Proposition 1): CNF oracle calls ~ p; "
+        "DNF time ~ k",
+        ["case", "result size / us per call", "oracle calls"],
+        cnf_rows + dnf_rows,
+    )
+    table += (f"\n\nCNF call-count exponent vs p (paper: 1): "
+              f"{call_slope:.2f}"
+              f"\nDNF time exponent vs k (paper: ~1): {time_slope:.2f}")
+    emit(capsys, "e05_boundedsat", table)
+
+    assert 0.8 <= call_slope <= 1.2
+    assert 0.4 <= time_slope <= 1.6
+
+    dnf = random_dnf(random.Random(2), 16, 16, width=6)
+    h = ToeplitzHashFamily(16, 16).sample(random.Random(3))
+    benchmark(lambda: bounded_sat_dnf(dnf, h, 2, 100))

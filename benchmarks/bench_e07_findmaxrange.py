@@ -1,0 +1,48 @@
+"""E7 -- Proposition 3: FindMaxRange uses O(log n) oracle queries,
+independent of the solution count."""
+
+import math
+import random
+
+from benchmarks.harness import emit, format_table
+from repro.core.find_max_range import find_max_range
+from repro.formulas.generators import fixed_count_cnf
+from repro.hashing.kwise import KWiseHashFamily
+from repro.sat.oracle import EnumerationOracle
+
+
+def run_sweep():
+    rows = []
+    for n in (8, 12, 16, 20):
+        formula = fixed_count_cnf(min(n, 16), min(n, 16) - 4)
+        oracle = EnumerationOracle.from_cnf(formula)
+        family = KWiseHashFamily(formula.num_vars, 6)
+        max_queries = 0
+        for seed in range(10):
+            h = family.sample(random.Random(seed))
+            oracle.calls = 0
+            find_max_range(oracle, h, formula.num_vars)
+            max_queries = max(max_queries, oracle.calls)
+        bound = 2 + math.ceil(math.log2(formula.num_vars))
+        rows.append((formula.num_vars, 1 << (formula.num_vars - 4),
+                     max_queries, bound))
+    return rows
+
+
+def test_e07_findmaxrange_queries(benchmark, capsys):
+    rows = run_sweep()
+    table = format_table(
+        "E7  FindMaxRange (Proposition 3): worst-case oracle queries vs n "
+        "(paper: O(log n))",
+        ["n", "|Sol|", "max queries", "2 + ceil(log2 n)"],
+        rows,
+    )
+    emit(capsys, "e07_findmaxrange", table)
+
+    for row in rows:
+        assert row[2] <= row[3]
+
+    formula = fixed_count_cnf(14, 10)
+    oracle = EnumerationOracle.from_cnf(formula)
+    h = KWiseHashFamily(14, 6).sample(random.Random(0))
+    benchmark(lambda: find_max_range(oracle, h, 14))

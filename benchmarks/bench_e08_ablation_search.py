@@ -1,0 +1,55 @@
+"""E8 -- Section 3.2 "Further Optimizations": the ApproxMC2 refinement.
+Linear level search costs Theta(m_i) BoundedSAT calls per repetition,
+binary search Theta(log n) -- identical sketches, far fewer calls, with
+the gap widening as n grows."""
+
+import random
+
+from benchmarks.harness import LIGHT_PARAMS, emit, format_table
+from repro.core.approxmc import approx_mc
+from repro.formulas.generators import fixed_count_cnf
+from repro.hashing.toeplitz import ToeplitzHashFamily
+
+
+def run_sweep():
+    rows = []
+    for n in (10, 14, 18):
+        formula = fixed_count_cnf(n, n - 2)  # Deep final level.
+        family = ToeplitzHashFamily(n, n)
+        hashes = [family.sample(random.Random(100 + i))
+                  for i in range(LIGHT_PARAMS.repetitions)]
+        per_strategy = {}
+        sketches = {}
+        for strategy in ("linear", "binary", "galloping"):
+            result = approx_mc(formula, LIGHT_PARAMS, random.Random(0),
+                               search=strategy, hashes=hashes)
+            per_strategy[strategy] = result.oracle_calls
+            sketches[strategy] = result.iteration_sketches
+        assert sketches["linear"] == sketches["binary"] \
+            == sketches["galloping"], "strategies must agree exactly"
+        rows.append((n, per_strategy["linear"], per_strategy["binary"],
+                     per_strategy["galloping"],
+                     per_strategy["linear"] / per_strategy["binary"]))
+    return rows
+
+
+def test_e08_search_strategy_ablation(benchmark, capsys):
+    rows = run_sweep()
+    table = format_table(
+        "E8  Level-search ablation (ApproxMC vs ApproxMC2-style): oracle "
+        "calls for identical sketches",
+        ["n", "linear calls", "binary calls", "galloping calls",
+         "linear/binary"],
+        rows,
+    )
+    table += ("\n\npaper's claim: O(n / eps^2 log(1/delta)) -> "
+              "O(log n / eps^2 log(1/delta)); the ratio must grow with n.")
+    emit(capsys, "e08_ablation_search", table)
+
+    ratios = [r[4] for r in rows]
+    assert ratios[-1] > 1.0, "binary search should save calls"
+    assert ratios[-1] >= ratios[0] * 0.9, "saving should not shrink with n"
+
+    formula = fixed_count_cnf(14, 12)
+    benchmark(lambda: approx_mc(formula, LIGHT_PARAMS, random.Random(7),
+                                search="binary"))

@@ -1,0 +1,68 @@
+"""E11 -- Section 4's lower bound: distributed F0 reduces to distributed
+DNF counting, so protocol cost on reduction instances should track the
+Omega(k/eps^2) bound -- linear growth in k and inverse-quadratic in eps."""
+
+import random
+
+from benchmarks.harness import emit, fitted_exponent, format_table
+from repro.distributed.lower_bound import f0_items_to_site_formulas
+from repro.distributed.protocols import distributed_bucketing
+from repro.streaming.base import SketchParams
+
+
+def make_instance(rng, k, universe=4096, items_per_site=64):
+    items = [[rng.randrange(universe) for _ in range(items_per_site)]
+             for _ in range(k)]
+    return f0_items_to_site_formulas(items, universe)
+
+
+def run_sweep():
+    rng = random.Random(0)
+    rows = []
+    ks, k_costs = [], []
+    params = SketchParams(eps=0.6, delta=0.25, thresh_constant=24.0,
+                          repetitions_constant=4.0)
+    for k in (2, 4, 8):
+        sites = make_instance(rng, k)
+        result = distributed_bucketing(sites, params, random.Random(k))
+        rows.append((f"k={k} eps=0.6", result.upload_bits))
+        ks.append(k)
+        k_costs.append(result.upload_bits)
+    k_slope = fitted_exponent(ks, k_costs)
+
+    epss, e_costs = [], []
+    for eps in (1.2, 0.6, 0.3):
+        params = SketchParams(eps=eps, delta=0.25, thresh_constant=24.0,
+                              repetitions_constant=4.0)
+        sites = make_instance(rng, 4)
+        result = distributed_bucketing(sites, params, random.Random(99))
+        rows.append((f"k=4 eps={eps}", result.upload_bits))
+        epss.append(1.0 / eps)
+        e_costs.append(result.upload_bits)
+    eps_slope = fitted_exponent(epss, e_costs)
+    return rows, k_slope, eps_slope
+
+
+def test_e11_lower_bound_shape(benchmark, capsys):
+    rows, k_slope, eps_slope = run_sweep()
+    table = format_table(
+        "E11  Omega(k/eps^2) reduction instances: Bucketing upload bits",
+        ["configuration", "upload bits"],
+        rows,
+    )
+    table += (f"\n\ncost exponent vs k (lower bound: >= 1): {k_slope:.2f}"
+              f"\ncost exponent vs 1/eps (lower bound: ~<= 2; sketches "
+              f"saturate once Thresh exceeds F0): {eps_slope:.2f}")
+    emit(capsys, "e11_lowerbound", table)
+
+    assert 0.5 <= k_slope <= 1.5
+    # Upload grows with 1/eps but is capped once sketches hold every
+    # element; the shape check is growth, not the exact exponent.
+    assert eps_slope > 0.3
+
+    rng = random.Random(1)
+    sites = make_instance(rng, 4)
+    params = SketchParams(eps=0.6, delta=0.25, thresh_constant=24.0,
+                          repetitions_constant=4.0)
+    benchmark(lambda: distributed_bucketing(sites, params,
+                                            random.Random(7)))

@@ -1,0 +1,38 @@
+"""E17 -- Observations 1 and 2: representation blow-up.
+The range [1, 2^n - 1]^d needs exactly n^d DNF terms but only O(nd) CNF
+clauses -- the asymmetry motivating the paper's open problem on CNF-side
+streaming."""
+
+import random
+
+from benchmarks.harness import emit, format_table
+from repro.structured.cnf_ranges import multirange_to_cnf
+from repro.structured.ranges import MultiRange
+
+
+def run_sweep():
+    rows = []
+    for n, d in ((4, 1), (4, 2), (4, 3), (8, 2), (8, 3), (16, 2)):
+        mr = MultiRange([(1, (1 << n) - 1)] * d, n)
+        cnf = multirange_to_cnf(mr)
+        rows.append((f"n={n} d={d}", n ** d, mr.term_count(),
+                     cnf.num_clauses, 2 * n * d))
+    return rows
+
+
+def test_e17_representation_blowup(benchmark, capsys):
+    rows = run_sweep()
+    table = format_table(
+        "E17  Observation 1 vs Observation 2: DNF terms vs CNF clauses "
+        "for [1, 2^n - 1]^d",
+        ["instance", "n^d", "DNF terms", "CNF clauses", "2nd bound"],
+        rows,
+    )
+    emit(capsys, "e17_blowup", table)
+
+    for row in rows:
+        assert row[2] == row[1], "Observation 1: exactly n^d terms"
+        assert row[3] <= row[4], "Observation 2: O(nd) clauses"
+
+    mr = MultiRange([(1, 255)] * 3, 8)
+    benchmark(lambda: sum(1 for _ in mr.iter_terms()))

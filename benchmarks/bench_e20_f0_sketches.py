@@ -1,0 +1,91 @@
+"""E20 -- Lemmas 1-3 at the paper's constants: the three F0 sketches'
+accuracy and space across stream profiles (uniform, skewed), including an
+eps sweep showing the 1/eps^2 space scaling."""
+
+import random
+
+from benchmarks.harness import emit, fitted_exponent, format_table
+from repro.common.stats import within_relative_tolerance
+from repro.streaming.base import SketchParams, compute_f0
+from repro.streaming.bucketing import BucketingF0
+from repro.streaming.estimation import EstimationF0
+from repro.streaming.exact import ExactF0
+from repro.streaming.minimum import MinimumF0
+from repro.streaming.streams import shuffled_stream_with_f0, zipf_like_stream
+
+SKETCHES = (
+    ("bucketing", BucketingF0),
+    ("minimum", MinimumF0),
+    ("estimation", EstimationF0),
+)
+
+PARAMS = SketchParams(eps=0.5, delta=0.2, thresh_constant=24.0,
+                      repetitions_constant=5.0)
+
+
+def run_accuracy():
+    rows = []
+    for profile in ("uniform", "zipf"):
+        for name, cls in SKETCHES:
+            ok = 0
+            trials = 5
+            for seed in range(trials):
+                rng = random.Random(1100 + seed)
+                if profile == "uniform":
+                    stream = shuffled_stream_with_f0(rng, 14, 500, 2000)
+                    truth = 500
+                else:
+                    stream = zipf_like_stream(rng, 14, 600, 4000)
+                    truth = len(set(stream))
+                est = cls(14, PARAMS, rng)
+                if within_relative_tolerance(
+                        compute_f0(iter(stream), est), truth, PARAMS.eps):
+                    ok += 1
+            rows.append((profile, name, ok / trials))
+    return rows
+
+
+def run_space_sweep():
+    rows = []
+    epss, spaces = [], []
+    for eps in (1.0, 0.5, 0.25):
+        params = SketchParams(eps=eps, delta=0.2, thresh_constant=24.0,
+                              repetitions_constant=5.0)
+        rng = random.Random(1200)
+        stream = shuffled_stream_with_f0(rng, 14, 800, 1500)
+        est = MinimumF0(14, params, rng)
+        compute_f0(iter(stream), est)
+        rows.append((eps, params.thresh, est.space_bits()))
+        epss.append(1.0 / eps)
+        spaces.append(est.space_bits())
+    return rows, fitted_exponent(epss, spaces)
+
+
+def test_e20_f0_sketches(benchmark, capsys):
+    acc_rows = run_accuracy()
+    space_rows, slope = run_space_sweep()
+    table = format_table(
+        "E20  F0 sketches (Lemmas 1-3): guarantee rate by stream profile",
+        ["stream", "sketch", "success rate"],
+        acc_rows,
+    )
+    table += "\n\n" + format_table(
+        "Minimum-sketch space vs eps (paper: Theta(n/eps^2))",
+        ["eps", "Thresh", "space bits"],
+        space_rows,
+    )
+    table += (f"\n\nspace exponent vs 1/eps (paper: 2, modulo the "
+              f"under-full regime): {slope:.2f}")
+    emit(capsys, "e20_f0_sketches", table)
+
+    assert all(r[2] >= 0.6 for r in acc_rows)
+    assert slope >= 1.2, "space must grow superlinearly in 1/eps"
+
+    rng = random.Random(22)
+    stream = shuffled_stream_with_f0(rng, 14, 300, 800)
+
+    def kernel():
+        est = MinimumF0(14, PARAMS, random.Random(23))
+        return compute_f0(iter(stream), est)
+
+    benchmark(kernel)

@@ -1,0 +1,75 @@
+"""Shared utilities for the experiment benchmarks."""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import List, Sequence
+
+from repro.streaming.base import SketchParams
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+#: Bench-scale constants: same structure as the paper's (Thresh ~ c/eps^2,
+#: t ~ c log(1/delta)), scaled so the full suite runs in minutes.  The
+#: guarantee experiments report success *rates*, which remain meaningful at
+#: this scale; EXPERIMENTS.md records the scaling.
+BENCH_PARAMS = SketchParams(eps=0.6, delta=0.2,
+                            thresh_constant=24.0, repetitions_constant=5.0)
+
+LIGHT_PARAMS = SketchParams(eps=0.8, delta=0.25,
+                            thresh_constant=16.0, repetitions_constant=4.0)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a title rule, ready to print or save."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(capsys, name: str, table: str) -> None:
+    """Print a table past pytest's capture and persist it as a report."""
+    with capsys.disabled():
+        print("\n" + table + "\n")
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    with open(os.path.join(REPORT_DIR, f"{name}.txt"), "w") as f:
+        f.write(table + "\n")
+
+
+def fitted_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x): the empirical scaling
+    exponent used to check shapes like 'cost grows ~ k/eps^2'."""
+    pts = [(math.log(x), math.log(y)) for x, y in zip(xs, ys)
+           if x > 0 and y > 0]
+    if len(pts) < 2:
+        return float("nan")
+    n = len(pts)
+    sx = sum(p[0] for p in pts)
+    sy = sum(p[1] for p in pts)
+    sxx = sum(p[0] * p[0] for p in pts)
+    sxy = sum(p[0] * p[1] for p in pts)
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        return float("nan")
+    return (n * sxy - sx * sy) / denom
+
+
+def success_rate(estimates: Sequence[float], truth: float,
+                 eps: float) -> float:
+    """Fraction of estimates meeting the (eps, .)-guarantee band."""
+    if not estimates:
+        return float("nan")
+    ok = sum(1 for e in estimates
+             if truth / (1 + eps) <= e <= (1 + eps) * truth)
+    return ok / len(estimates)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Distributed DNF counting across database shards (Section 4).
+
+A provenance DNF is sharded term-wise across k sites (think: a distributed
+probabilistic database where each node stores part of a lineage
+expression).  The coordinator estimates the number of satisfying
+assignments of the full formula while the simulation meters every
+communicated bit, comparing the three protocols' accuracy and cost.
+
+Run:  python examples/distributed_provenance.py
+"""
+
+import random
+
+from repro import (
+    SketchParams,
+    distributed_bucketing,
+    distributed_estimation,
+    distributed_minimum,
+    exact_model_count,
+    partition_round_robin,
+    random_dnf,
+)
+
+
+def main() -> None:
+    rng = random.Random(11)
+    num_vars = 12
+    formula = random_dnf(rng, num_vars, num_terms=24, width=5)
+    truth = exact_model_count(formula)
+    params = SketchParams(eps=0.5, delta=0.2,
+                          thresh_constant=24.0, repetitions_constant=6.0)
+
+    print(f"formula: {formula.num_terms} terms over {num_vars} vars, "
+          f"exact count {truth}\n")
+    header = (f"{'protocol':<12} {'k':>3} {'estimate':>10} "
+              f"{'rel.err':>8} {'upload bits':>12} {'total bits':>11}")
+    print(header)
+    print("-" * len(header))
+
+    for k in (2, 4, 8):
+        sites = partition_round_robin(formula, k)
+        for name, protocol in (
+            ("bucketing", distributed_bucketing),
+            ("minimum", distributed_minimum),
+            ("estimation", distributed_estimation),
+        ):
+            result = protocol(sites, params, random.Random(500 + k))
+            rel = abs(result.estimate - truth) / truth
+            print(f"{name:<12} {k:>3} {result.estimate:>10.1f} "
+                  f"{rel:>8.3f} {result.upload_bits:>12} "
+                  f"{result.total_bits:>11}")
+        print()
+
+    print("Shapes to notice (cf. Section 4): upload cost grows linearly in "
+          "k for all\nprotocols; Minimum ships Theta(n/eps^2) bits of hash "
+          "values per site while\nBucketing ships compressed fingerprints, "
+          "and Estimation ships only level\nnumbers -- the paper's "
+          "O~(k(n + 1/eps^2)) vs O(k n / eps^2) separation.")
+
+
+if __name__ == "__main__":
+    main()

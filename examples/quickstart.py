@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: the unified framework in one sitting.
+
+Counts the models of a CNF and a DNF formula with all three transformed
+counters (Bucketing/ApproxMC, Minimum, Estimation) plus the FlajoletMartin
+rough counter, then estimates the F0 of a raw stream with the three
+corresponding sketches -- the two sides of the paper's bridge.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    BucketingF0,
+    EstimationF0,
+    ExactF0,
+    MinimumF0,
+    SketchParams,
+    approx_mc,
+    approx_model_count_est,
+    approx_model_count_min,
+    compute_f0,
+    exact_model_count,
+    flajolet_martin_count,
+    random_dnf,
+    random_k_cnf,
+)
+from repro.streaming.streams import shuffled_stream_with_f0
+
+
+def count_both_representations() -> None:
+    rng = random.Random(2021)
+    params = SketchParams(eps=0.8, delta=0.2,
+                          thresh_constant=24.0, repetitions_constant=6.0)
+
+    cnf = random_k_cnf(rng, num_vars=12, num_clauses=24, k=3)
+    dnf = random_dnf(rng, num_vars=14, num_terms=8, width=5)
+
+    for name, formula in (("CNF", cnf), ("DNF", dnf)):
+        truth = exact_model_count(formula)
+        bucketing = approx_mc(formula, params, random.Random(1))
+        minimum = approx_model_count_min(formula, params, random.Random(2))
+        estimation = approx_model_count_est(formula, params,
+                                            random.Random(3))
+        rough = flajolet_martin_count(formula, random.Random(4),
+                                      repetitions=9)
+        print(f"\n#{name} over {formula.num_vars} variables "
+              f"(exact count {truth}):")
+        print(f"  ApproxMC (Bucketing)   {bucketing.estimate:10.1f}   "
+              f"oracle calls {bucketing.oracle_calls}")
+        print(f"  Minimum-based          {minimum.estimate:10.1f}   "
+              f"oracle calls {minimum.oracle_calls}")
+        print(f"  Estimation-based       {estimation.estimate:10.1f}   "
+              f"oracle calls {estimation.oracle_calls}")
+        print(f"  FlajoletMartin (rough) {rough.estimate:10.1f}   "
+              f"oracle calls {rough.oracle_calls}")
+
+
+def sketch_a_stream() -> None:
+    rng = random.Random(7)
+    params = SketchParams(eps=0.5, delta=0.2,
+                          thresh_constant=24.0, repetitions_constant=6.0)
+    universe_bits = 16
+    stream = shuffled_stream_with_f0(rng, universe_bits, f0=700,
+                                     length=3000)
+
+    exact = compute_f0(iter(stream), ExactF0())
+    print(f"\nStream of {len(stream)} items over 2^{universe_bits} "
+          f"universe (exact F0 {exact:.0f}):")
+    for name, est in (
+        ("Bucketing", BucketingF0(universe_bits, params, rng)),
+        ("Minimum  ", MinimumF0(universe_bits, params, rng)),
+        ("Estimation", EstimationF0(universe_bits, params, rng)),
+    ):
+        value = compute_f0(iter(stream), est)
+        print(f"  {name} sketch estimate {value:10.1f}")
+
+
+if __name__ == "__main__":
+    count_both_representations()
+    sketch_a_stream()

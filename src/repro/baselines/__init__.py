@@ -1,0 +1,21 @@
+"""Baseline algorithms the paper's methods are compared against.
+
+* :mod:`repro.baselines.karp_luby` -- the classic Monte Carlo FPRAS for
+  #DNF (Karp--Luby coverage estimator), with both a fixed-sample-size
+  variant and the optimal-stopping variant of Dagum, Karp, Luby and Ross.
+  Section 3.5 cites Meel--Shrotri--Vardi's finding that hashing-based DNF
+  counters beat Monte Carlo on many instance families; benchmark E18
+  reproduces that comparison on this substrate.
+"""
+
+from repro.baselines.karp_luby import (
+    KarpLubyResult,
+    karp_luby_count,
+    karp_luby_optimal_stopping,
+)
+
+__all__ = [
+    "KarpLubyResult",
+    "karp_luby_count",
+    "karp_luby_optimal_stopping",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface: count, sample, and estimate F0 from the shell.
+
+Examples::
+
+    python -m repro count formula.cnf --algorithm bucketing --eps 0.8
+    python -m repro count formula.dnf --algorithm minimum
+    python -m repro sample formula.dnf --count 5
+    python -m repro f0 items.txt --universe-bits 16 --sketch minimum
+
+``count`` accepts DIMACS ``p cnf`` and ``p dnf`` files (sniffed from the
+problem line); ``f0`` reads one integer item per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence, Union
+
+from repro.baselines.karp_luby import karp_luby_count
+from repro.core.approxmc import approx_mc
+from repro.core.est_count import approx_model_count_est
+from repro.core.exact import exact_model_count
+from repro.core.min_count import approx_model_count_min
+from repro.core.sampling import sample_solutions
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dimacs import parse_dimacs_cnf, parse_dimacs_dnf
+from repro.formulas.dnf import DnfFormula
+from repro.streaming.base import SketchParams, compute_f0
+from repro.streaming.bucketing import BucketingF0
+from repro.streaming.estimation import EstimationF0
+from repro.streaming.minimum import MinimumF0
+
+Formula = Union[CnfFormula, DnfFormula]
+
+
+def _load_formula(path: str) -> Formula:
+    with open(path) as f:
+        text = f.read()
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("p "):
+            kind = stripped.split()[1]
+            if kind == "cnf":
+                return parse_dimacs_cnf(text)
+            if kind == "dnf":
+                return parse_dimacs_dnf(text)
+            raise SystemExit(f"unsupported problem kind {kind!r}")
+    raise SystemExit("no DIMACS problem line found")
+
+
+def _params(args: argparse.Namespace) -> SketchParams:
+    return SketchParams(eps=args.eps, delta=args.delta,
+                        thresh_constant=args.thresh_constant,
+                        repetitions_constant=args.repetitions_constant)
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    formula = _load_formula(args.formula)
+    rng = random.Random(args.seed)
+    if args.algorithm == "exact":
+        print(exact_model_count(formula))
+        return 0
+    if args.algorithm == "karp-luby":
+        if not isinstance(formula, DnfFormula):
+            raise SystemExit("karp-luby only applies to DNF formulas")
+        result = karp_luby_count(formula, args.eps, args.delta, rng)
+        print(f"{result.estimate:.6g}")
+        print(f"samples: {result.samples}", file=sys.stderr)
+        return 0
+    params = _params(args)
+    runner = {
+        "bucketing": approx_mc,
+        "minimum": approx_model_count_min,
+        "estimation": approx_model_count_est,
+    }[args.algorithm]
+    result = runner(formula, params, rng)
+    print(f"{result.estimate:.6g}")
+    print(f"oracle calls: {result.oracle_calls}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    formula = _load_formula(args.formula)
+    rng = random.Random(args.seed)
+    for model in sample_solutions(formula, rng, args.count):
+        lits = [v if (model >> (v - 1)) & 1 else -v
+                for v in range(1, formula.num_vars + 1)]
+        print(" ".join(str(l) for l in lits) + " 0")
+    return 0
+
+
+def _cmd_f0(args: argparse.Namespace) -> int:
+    with open(args.items) as f:
+        items = [int(line) for line in f if line.strip()]
+    rng = random.Random(args.seed)
+    params = _params(args)
+    sketch_cls = {
+        "bucketing": BucketingF0,
+        "minimum": MinimumF0,
+        "estimation": EstimationF0,
+    }[args.sketch]
+    estimator = sketch_cls(args.universe_bits, params, rng)
+    print(f"{compute_f0(iter(items), estimator):.6g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Model counting meets F0 estimation (PODS 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--eps", type=float, default=0.8,
+                       help="relative tolerance (default 0.8)")
+        p.add_argument("--delta", type=float, default=0.2,
+                       help="failure probability (default 0.2)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="RNG seed (default 0)")
+        p.add_argument("--thresh-constant", type=float, default=96.0,
+                       help="Thresh = c/eps^2 constant (paper: 96)")
+        p.add_argument("--repetitions-constant", type=float, default=35.0,
+                       help="t = c ln(1/delta) constant (paper: 35)")
+
+    count = sub.add_parser("count", help="approximate model counting")
+    count.add_argument("formula", help="DIMACS cnf/dnf file")
+    count.add_argument("--algorithm", default="bucketing",
+                       choices=["bucketing", "minimum", "estimation",
+                                "karp-luby", "exact"])
+    add_common(count)
+    count.set_defaults(func=_cmd_count)
+
+    sample = sub.add_parser("sample", help="near-uniform solution samples")
+    sample.add_argument("formula", help="DIMACS cnf/dnf file")
+    sample.add_argument("--count", type=int, default=1)
+    add_common(sample)
+    sample.set_defaults(func=_cmd_sample)
+
+    f0 = sub.add_parser("f0", help="distinct elements of an item stream")
+    f0.add_argument("items", help="file with one integer item per line")
+    f0.add_argument("--universe-bits", type=int, required=True)
+    f0.add_argument("--sketch", default="minimum",
+                    choices=["bucketing", "minimum", "estimation"])
+    add_common(f0)
+    f0.set_defaults(func=_cmd_f0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (also used directly by the test suite)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Shared low-level utilities used across the whole library.
+
+The :mod:`repro.common` package deliberately has no dependencies on any other
+``repro`` subpackage so that every substrate (GF(2) algebra, hashing, SAT,
+streaming) can build on it without import cycles.
+"""
+
+from repro.common.bitvec import (
+    bit,
+    bits_of,
+    from_bits,
+    leading_zeros,
+    parity,
+    popcount,
+    reverse_bits,
+    trailing_zeros,
+)
+from repro.common.errors import (
+    BudgetExceededError,
+    InvalidParameterError,
+    ReproError,
+    UnsatisfiableError,
+)
+from repro.common.rng import RandomSource, spawn_rngs
+from repro.common.stats import (
+    median,
+    median_of_estimates,
+    relative_error,
+    within_factor,
+    within_relative_tolerance,
+)
+
+__all__ = [
+    "BudgetExceededError",
+    "InvalidParameterError",
+    "RandomSource",
+    "ReproError",
+    "UnsatisfiableError",
+    "bit",
+    "bits_of",
+    "from_bits",
+    "leading_zeros",
+    "median",
+    "median_of_estimates",
+    "parity",
+    "popcount",
+    "relative_error",
+    "reverse_bits",
+    "spawn_rngs",
+    "trailing_zeros",
+    "within_factor",
+    "within_relative_tolerance",
+]

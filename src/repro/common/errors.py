@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish the failure modes that matter:
+
+* :class:`InvalidParameterError` -- the caller passed a malformed or
+  out-of-range argument (a programming error at the call site).
+* :class:`UnsatisfiableError` -- an operation that requires at least one
+  solution/element was invoked on an empty solution space.
+* :class:`BudgetExceededError` -- an oracle-call or time budget configured by
+  the caller was exhausted before the computation finished.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the ``repro`` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An argument was malformed or outside its documented domain."""
+
+
+class UnsatisfiableError(ReproError):
+    """An operation requiring a non-empty solution space found none."""
+
+
+class BudgetExceededError(ReproError):
+    """A configured resource budget (oracle calls, items) was exhausted."""
+
+    def __init__(self, message: str, spent: int | None = None) -> None:
+        super().__init__(message)
+        #: How much of the budget had been spent when the error was raised.
+        self.spent = spent

@@ -1,0 +1,38 @@
+"""Deterministic randomness plumbing.
+
+Every randomized component in the library takes a :class:`RandomSource`
+(a thin alias of :class:`random.Random`) rather than reaching for the global
+``random`` module.  This keeps experiments reproducible: a single seed at the
+top of a benchmark fixes the whole run, and independent sub-streams can be
+split off with :func:`spawn_rngs` without the correlated-seed pitfalls of
+``Random(seed + i)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+#: The random generator type accepted throughout the library.
+RandomSource = random.Random
+
+
+def spawn_rngs(rng: RandomSource, count: int) -> List[RandomSource]:
+    """Split ``count`` independent generators off ``rng``.
+
+    Each child is seeded with a fresh 128-bit draw from the parent, which is
+    statistically indistinguishable from independent seeding for the scale of
+    experiments in this repository.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [random.Random(rng.getrandbits(128)) for _ in range(count)]
+
+
+def random_bits(rng: RandomSource, width: int) -> int:
+    """Return a uniform ``width``-bit integer (0 when ``width == 0``)."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if width == 0:
+        return 0
+    return rng.getrandbits(width)

@@ -1,0 +1,61 @@
+"""Estimate aggregation and accuracy checking.
+
+The paper's algorithms all finish with "output the median of
+``O(log 1/delta)`` independent estimates"; :func:`median_of_estimates` is that
+step.  The accuracy predicates implement the two guarantee styles that appear
+in the paper:
+
+* :func:`within_relative_tolerance` -- the PAC / ``(eps, delta)`` guarantee
+  ``true/(1+eps) <= est <= (1+eps) * true``.
+* :func:`within_factor` -- the coarse ``c``-factor guarantee used by the
+  FlajoletMartin rough estimator (``true/c <= est <= c * true``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Return the lower median of a non-empty sequence.
+
+    The *lower* median (element at index ``(len - 1) // 2`` of the sorted
+    sequence) is used rather than interpolating, because the estimates the
+    paper takes medians over are often exact powers of two and interpolation
+    would manufacture values that no single run produced.
+    """
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+def median_of_estimates(estimates: Sequence[float]) -> float:
+    """Aggregate independent estimates the way the paper's algorithms do."""
+    return median(estimates)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Return ``|estimate - truth| / truth`` (``inf`` if truth is zero and
+    the estimate is not)."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / truth
+
+
+def within_relative_tolerance(estimate: float, truth: float, eps: float) -> bool:
+    """Check the PAC guarantee ``truth/(1+eps) <= estimate <= (1+eps)*truth``."""
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    if truth == 0:
+        return estimate == 0
+    return truth / (1.0 + eps) <= estimate <= (1.0 + eps) * truth
+
+
+def within_factor(estimate: float, truth: float, factor: float) -> bool:
+    """Check the coarse guarantee ``truth/factor <= estimate <= factor*truth``."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if truth == 0:
+        return estimate == 0
+    return truth / factor <= estimate <= factor * truth

@@ -1,0 +1,35 @@
+"""FindMaxRange (Proposition 3): the largest trail-zero level of a hashed
+solution.
+
+Binary search over the monotone predicate "exists ``z |= phi`` with
+``TrailZero(h(z)) >= t``", each probe one oracle query -- ``O(log n)``
+calls, as the paper states.  The oracle backend is pluggable:
+
+* :class:`repro.sat.oracle.NpOracle` answers probes for *linear* hashes by
+  adding suffix XOR constraints (used by the FlajoletMartin rough counter);
+* :class:`repro.sat.oracle.EnumerationOracle` answers them for arbitrary
+  (e.g. s-wise polynomial) hashes by witness enumeration -- the documented
+  substitution for Proposition 3's NP oracle, with identical query counts.
+
+Returns -1 when the formula has no solutions at all (the ``t = 0`` probe
+already fails), letting callers distinguish "empty" from "some solution
+hashes to an odd value".
+"""
+
+from __future__ import annotations
+
+from repro.sat.oracle import OracleBackend
+
+
+def find_max_range(oracle: OracleBackend, h, out_bits: int) -> int:
+    """Largest ``t`` with a solution of trail-zero level ``>= t`` (or -1)."""
+    if not oracle.exists_with_trailzero_at_least(h, 0):
+        return -1
+    lo, hi = 0, out_bits
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if oracle.exists_with_trailzero_at_least(h, mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

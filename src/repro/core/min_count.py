@@ -1,0 +1,81 @@
+"""ApproxModelCountMin (Algorithm 6, Theorem 3): the Minimum-based counter.
+
+Per repetition: sample ``h`` from ``H_Toeplitz(n, 3n)``, compute the
+``Thresh`` lexicographically smallest values of ``h(Sol(phi))`` via FindMin
+(Proposition 2), and estimate ``Thresh * 2^{3n} / max(S)``.  Median over
+repetitions.  Polynomial time for DNF (an FPRAS); ``O(p * m)`` oracle calls
+per repetition for CNF.
+
+Under-full sketches (``|Sol(phi)| < Thresh``) hold *every* hash value of a
+solution; since ``h`` into ``3n`` bits is injective on ``Sol(phi)`` except
+with probability ``2^-n``, the sketch size itself is the exact count and we
+return it (Bar-Yossef et al.'s original rule; the paper's condensed formula
+assumes a full sketch -- see EXPERIMENTS.md deviations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.common.errors import InvalidParameterError
+from repro.common.rng import RandomSource
+from repro.common.stats import median
+from repro.core.find_min import find_min
+from repro.core.results import CountResult
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dnf import DnfFormula
+from repro.hashing.base import LinearHash
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.sat.oracle import NpOracle
+from repro.streaming.base import SketchParams
+
+Formula = Union[CnfFormula, DnfFormula]
+
+
+def estimate_from_min_sketch(values: Sequence[int], thresh: int,
+                             out_bits: int) -> float:
+    """Row estimate from a FindMin sketch (shared with the streaming and
+    distributed implementations)."""
+    if not values:
+        return 0.0
+    if len(values) < thresh:
+        return float(len(values))
+    largest = values[-1]
+    if largest == 0:
+        return float(len(values))
+    return thresh * float(1 << out_bits) / largest
+
+
+def approx_model_count_min(
+    formula: Formula,
+    params: SketchParams,
+    rng: RandomSource,
+    hashes: Optional[Sequence[LinearHash]] = None,
+) -> CountResult:
+    """Run ApproxModelCountMin; see module docstring."""
+    n = formula.num_vars
+    out_bits = 3 * n
+    thresh = params.thresh
+    reps = params.repetitions
+    if hashes is None:
+        family = ToeplitzHashFamily(n, out_bits)
+        hashes = [family.sample(rng) for _ in range(reps)]
+    elif len(hashes) < reps:
+        raise InvalidParameterError("not enough hash functions supplied")
+
+    oracle = NpOracle(formula) if isinstance(formula, CnfFormula) else None
+
+    raw: List[float] = []
+    sketches = []
+    for i in range(reps):
+        values = find_min(formula, hashes[i], thresh, oracle=oracle)
+        raw.append(estimate_from_min_sketch(values, thresh,
+                                            hashes[i].out_bits))
+        sketches.append(tuple(values))
+
+    return CountResult(
+        estimate=median(raw),
+        oracle_calls=oracle.calls if oracle is not None else 0,
+        raw_estimates=raw,
+        iteration_sketches=sketches,
+    )

@@ -1,0 +1,129 @@
+"""The transformation recipe (Section 3.1), made executable.
+
+The paper's central observation is that each F0 algorithm is determined by
+a sketch relation ``P(S, H, a_u)`` depending only on the *set* of distinct
+elements: build ``S`` from a stream or build it from ``Sol(phi)`` -- the
+estimator cannot tell the difference.  This module exposes both halves for
+each strategy so the equivalence is checkable bit-for-bit (benchmark E19
+and the property tests in ``tests/test_recipe.py``):
+
+=============  =============================  ===============================
+strategy       sketch from a stream           sketch from a formula
+=============  =============================  ===============================
+Bucketing      P1: distinct in-cell elements  BoundedSAT per level
+               + final level                  (Proposition 1)
+Minimum        P2: Thresh smallest distinct   FindMin (Proposition 2)
+               hash values
+Estimation     P3: max TrailZero per hash     FindMaxRange (Proposition 3)
+=============  =============================  ===============================
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.bounded_sat import bounded_sat
+from repro.core.find_max_range import find_max_range
+from repro.core.find_min import find_min
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dnf import DnfFormula
+from repro.hashing.base import LinearHash
+from repro.sat.oracle import EnumerationOracle, NpOracle
+from repro.streaming.bucketing import BucketingRow
+from repro.streaming.estimation import EstimationRow
+from repro.streaming.minimum import MinimumRow
+
+Formula = Union[CnfFormula, DnfFormula]
+
+BucketingSketch = Tuple[FrozenSet[int], int]
+MinimumSketch = Tuple[int, ...]
+EstimationSketch = Tuple[int, ...]
+
+
+# ----------------------------------------------------------------------
+# Bucketing (sketch relation P1)
+# ----------------------------------------------------------------------
+
+def bucketing_sketch_from_stream(stream: Iterable[int], h: LinearHash,
+                                 thresh: int) -> BucketingSketch:
+    """Run the streaming Bucketing update rule; return (cell set, level)."""
+    row = BucketingRow(h, thresh)
+    for x in stream:
+        row.process(x)
+    return frozenset(row.bucket), row.level
+
+
+def bucketing_sketch_from_formula(formula: Formula, h: LinearHash,
+                                  thresh: int,
+                                  oracle: Optional[NpOracle] = None
+                                  ) -> BucketingSketch:
+    """Build the same sketch from ``Sol(phi)`` via BoundedSAT (ApproxMC's
+    inner loop)."""
+    level = 0
+    cell = bounded_sat(formula, h, level, thresh, oracle=oracle)
+    while len(cell) >= thresh and level < h.out_bits:
+        level += 1
+        cell = bounded_sat(formula, h, level, thresh, oracle=oracle)
+    return frozenset(cell), level
+
+
+def estimate_bucketing_sketch(sketch: BucketingSketch) -> float:
+    """``|cell| * 2^level`` -- shared by both halves."""
+    cell, level = sketch
+    return len(cell) * float(1 << level)
+
+
+# ----------------------------------------------------------------------
+# Minimum (sketch relation P2)
+# ----------------------------------------------------------------------
+
+def minimum_sketch_from_stream(stream: Iterable[int], h: LinearHash,
+                               thresh: int) -> MinimumSketch:
+    """Thresh smallest distinct hash values seen in the stream."""
+    row = MinimumRow(h, thresh)
+    for x in stream:
+        row.process(x)
+    return tuple(row.values())
+
+
+def minimum_sketch_from_formula(formula: Formula, h: LinearHash,
+                                thresh: int,
+                                oracle: Optional[NpOracle] = None
+                                ) -> MinimumSketch:
+    """The same values via FindMin on the formula."""
+    return tuple(find_min(formula, h, thresh, oracle=oracle))
+
+
+# ----------------------------------------------------------------------
+# Estimation (sketch relation P3)
+# ----------------------------------------------------------------------
+
+def estimation_sketch_from_stream(stream: Iterable[int],
+                                  hashes: Sequence) -> EstimationSketch:
+    """Max trail-zero level per hash function over the stream."""
+    row = EstimationRow(list(hashes))
+    for x in stream:
+        row.process(x)
+    return tuple(row.maxima)
+
+
+def estimation_sketch_from_formula(formula: Formula,
+                                   hashes: Sequence,
+                                   oracle: Optional[EnumerationOracle] = None
+                                   ) -> EstimationSketch:
+    """The same levels via FindMaxRange per hash.
+
+    FindMaxRange returns -1 on an empty solution set while a streaming row
+    over an empty stream reports 0 (its initial value); the formula side
+    clamps to 0 to keep the sketches comparable -- both relations P3 are
+    only constrained on non-empty sets.
+    """
+    if oracle is None:
+        if isinstance(formula, DnfFormula):
+            oracle = EnumerationOracle.from_dnf(formula)
+        else:
+            oracle = EnumerationOracle.from_cnf(formula)
+    out: List[int] = []
+    for h in hashes:
+        out.append(max(0, find_max_range(oracle, h, h.out_bits)))
+    return tuple(out)

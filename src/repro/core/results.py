@@ -1,0 +1,26 @@
+"""Result record shared by the model-counting algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class CountResult:
+    """Outcome of a PAC model-counting run.
+
+    ``estimate`` is the median-of-repetitions count; ``oracle_calls`` the
+    paper's cost metric (0 for pure polynomial-time DNF paths);
+    ``iteration_sketches`` the per-repetition sketch contents, exposed so
+    experiments can inspect the sketch relation directly.
+    """
+
+    estimate: float
+    oracle_calls: int = 0
+    #: Per-repetition raw estimates (before the median).
+    raw_estimates: List[float] = field(default_factory=list)
+    #: Per-repetition sketch summaries; shape depends on the algorithm:
+    #: Bucketing: (cell_count, level); Minimum: tuple of kept hash values;
+    #: Estimation: tuple of max-trail-zero entries.
+    iteration_sketches: List[Tuple] = field(default_factory=list)

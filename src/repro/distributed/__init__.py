@@ -1,0 +1,42 @@
+"""Distributed DNF counting (Section 4).
+
+``k`` sites each hold a sub-DNF ``phi_j`` (a subset of the terms); a
+coordinator must output an ``(eps, delta)`` estimate of ``|Sol(phi_1 or ...
+or phi_k)|`` while minimising communicated bits.  The paper transplants all
+three transformed counters into Cormode et al.'s distributed functional
+monitoring model:
+
+* :func:`distributed_bucketing` -- sites ship compressed cell contents
+  ``(G(x), level)``; cost ``O~(k (n + 1/eps^2) log(1/delta))``.
+* :func:`distributed_minimum` -- sites ship FindMin sketches; cost
+  ``O(k n / eps^2 log(1/delta))``.
+* :func:`distributed_estimation` -- sites ship max-trail-zero levels; cost
+  ``O~(k (n + 1/eps^2) log(1/delta))``.
+
+Every message is metered through :class:`BitChannel` so benchmark E10 can
+measure the claimed scalings, and :mod:`repro.distributed.lower_bound`
+builds the F0-reduction instances behind the ``Omega(k/eps^2)`` bound.
+"""
+
+from repro.distributed.network import BitChannel, DistributedResult
+from repro.distributed.partition import (
+    partition_random,
+    partition_round_robin,
+)
+from repro.distributed.protocols import (
+    distributed_bucketing,
+    distributed_estimation,
+    distributed_minimum,
+)
+from repro.distributed.lower_bound import f0_items_to_site_formulas
+
+__all__ = [
+    "BitChannel",
+    "DistributedResult",
+    "distributed_bucketing",
+    "distributed_estimation",
+    "distributed_minimum",
+    "f0_items_to_site_formulas",
+    "partition_random",
+    "partition_round_robin",
+]

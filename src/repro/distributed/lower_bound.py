@@ -1,0 +1,46 @@
+"""The reduction behind the ``Omega(k/eps^2)`` lower bound (Section 4).
+
+Woodruff--Zhang: any distributed-monitoring protocol for
+``(1+eps)``-approximate F0 communicates ``Omega(k/eps^2)`` bits.  The paper
+reduces F0 to distributed DNF counting: site ``j``'s items
+``a_1 .. a_m in [N]`` become a DNF over ``ceil(log2 N)`` variables whose
+solutions are exactly those items (one full-width term each).  This module
+builds those reduction instances; benchmark E11 runs the protocols on them
+and plots measured bits against ``k/eps^2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.common.errors import InvalidParameterError
+from repro.formulas.dnf import DnfFormula, DnfTerm
+
+
+def element_to_term(element: int, num_bits: int) -> DnfTerm:
+    """The full-width term whose unique solution is ``element``."""
+    if element >> num_bits:
+        raise InvalidParameterError("element does not fit in num_bits")
+    lits = [v if (element >> (v - 1)) & 1 else -v
+            for v in range(1, num_bits + 1)]
+    return DnfTerm(lits)
+
+
+def f0_items_to_site_formulas(items_per_site: Sequence[Sequence[int]],
+                              universe_size: int) -> List[DnfFormula]:
+    """Encode a distributed F0 instance as distributed DNF counting input.
+
+    ``items_per_site[j]`` are site ``j``'s stream items over
+    ``[universe_size]``; the result is one DNF per site over
+    ``ceil(log2 universe_size)`` variables whose solution set is the site's
+    distinct item set, so ``|Sol(or_j phi_j)| = F0`` of the joint stream.
+    """
+    if universe_size < 2:
+        raise InvalidParameterError("universe must have at least 2 elements")
+    num_bits = max(1, math.ceil(math.log2(universe_size)))
+    formulas = []
+    for items in items_per_site:
+        terms = [element_to_term(x, num_bits) for x in sorted(set(items))]
+        formulas.append(DnfFormula(num_bits, terms))
+    return formulas

@@ -1,0 +1,63 @@
+"""Bit-accurate communication accounting for the simulated network.
+
+The paper's Section 4 claims are about *communicated bits*, so the
+simulation's single obligation is to meter them faithfully.  Every protocol
+charges a :class:`BitChannel` for each logical message:
+
+* broadcasting a hash function costs its ``seed_bits`` (or, under the
+  conventional shared-randomness assumption the paper's accounting uses,
+  one ``SEED_BITS`` PRG seed per protocol run);
+* a hashed value costs its bit-width; a level in ``[0, n]`` costs
+  ``ceil(log2(n+1))`` bits; a compressed element fingerprint costs the
+  fingerprint width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Size of a PRG seed under the shared-randomness convention.
+SEED_BITS = 128
+
+
+def level_bits(universe_bits: int) -> int:
+    """Bits to transmit a level in ``[0, universe_bits]``."""
+    return max(1, math.ceil(math.log2(universe_bits + 1)))
+
+
+class BitChannel:
+    """Upload/download meters between the sites and the coordinator."""
+
+    def __init__(self) -> None:
+        self.broadcast_bits = 0  # Coordinator -> sites.
+        self.upload_bits = 0     # Sites -> coordinator.
+
+    def broadcast(self, bits: int, num_sites: int) -> None:
+        """Charge a coordinator-to-all-sites message."""
+        if bits < 0 or num_sites < 0:
+            raise ValueError("bits and num_sites must be non-negative")
+        self.broadcast_bits += bits * num_sites
+
+    def upload(self, bits: int) -> None:
+        """Charge one site-to-coordinator message."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        self.upload_bits += bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.broadcast_bits + self.upload_bits
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of one distributed counting run."""
+
+    estimate: float
+    total_bits: int
+    broadcast_bits: int
+    upload_bits: int
+    num_sites: int
+    #: Extra per-protocol diagnostics (e.g. chosen levels).
+    details: dict = field(default_factory=dict)

@@ -1,0 +1,36 @@
+"""Partitioning a DNF's terms across sites.
+
+Distributed DNF counting assumes the input formula's terms are split among
+``k`` sites; these helpers produce the standard splits used by the
+benchmarks (round-robin for balance, random for adversarial-ish skew).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import InvalidParameterError
+from repro.common.rng import RandomSource
+from repro.formulas.dnf import DnfFormula
+
+
+def partition_round_robin(formula: DnfFormula,
+                          num_sites: int) -> List[DnfFormula]:
+    """Deal terms to sites like cards; every site gets the same num_vars."""
+    if num_sites < 1:
+        raise InvalidParameterError("need at least one site")
+    buckets: List[List] = [[] for _ in range(num_sites)]
+    for idx, term in enumerate(formula.terms):
+        buckets[idx % num_sites].append(term)
+    return [DnfFormula(formula.num_vars, b) for b in buckets]
+
+
+def partition_random(formula: DnfFormula, num_sites: int,
+                     rng: RandomSource) -> List[DnfFormula]:
+    """Assign each term to a uniformly random site (sites may be empty)."""
+    if num_sites < 1:
+        raise InvalidParameterError("need at least one site")
+    buckets: List[List] = [[] for _ in range(num_sites)]
+    for term in formula.terms:
+        buckets[rng.randrange(num_sites)].append(term)
+    return [DnfFormula(formula.num_vars, b) for b in buckets]

@@ -1,0 +1,241 @@
+"""The three distributed DNF counting protocols (Section 4).
+
+Each protocol follows the same shape: the coordinator establishes hash
+functions (under ``shared_randomness=True`` -- the accounting convention of
+the paper -- that costs one PRG seed; otherwise the full descriptions are
+charged), each site runs the relevant per-formula subroutine on its
+sub-DNF in polynomial time, uploads a compact message, and the coordinator
+combines messages exactly as the centralized algorithm would.
+
+Sites hold DNF subformulas, so all per-site computation uses the
+polynomial-time paths (BoundedSAT/DNF, FindMin/DNF, affine max-trail-zero);
+the Estimation protocol's s-wise hashes are the one exception, handled by
+the documented enumeration substitute.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.common.errors import InvalidParameterError
+from repro.common.rng import RandomSource
+from repro.common.stats import median
+from repro.core.est_count import estimate_from_levels
+from repro.core.find_min import find_min_dnf
+from repro.core.fm_count import _max_level_dnf
+from repro.core.min_count import estimate_from_min_sketch
+from repro.core.recipe import bucketing_sketch_from_formula
+from repro.distributed.network import (
+    SEED_BITS,
+    BitChannel,
+    DistributedResult,
+    level_bits,
+)
+from repro.formulas.dnf import DnfFormula
+from repro.hashing.kwise import KWiseHashFamily
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.hashing.xor import XorHashFamily
+from repro.sat.oracle import EnumerationOracle
+from repro.streaming.base import SketchParams
+from repro.streaming.estimation import independence_for_eps
+
+
+def _check_sites(site_formulas: Sequence[DnfFormula]) -> int:
+    if not site_formulas:
+        raise InvalidParameterError("need at least one site")
+    n = site_formulas[0].num_vars
+    if any(f.num_vars != n for f in site_formulas):
+        raise InvalidParameterError("sites must share the variable set")
+    return n
+
+
+def _charge_hash_setup(channel: BitChannel, num_sites: int,
+                       description_bits: int,
+                       shared_randomness: bool) -> None:
+    if shared_randomness:
+        channel.broadcast(SEED_BITS, num_sites)
+    else:
+        channel.broadcast(description_bits, num_sites)
+
+
+# ----------------------------------------------------------------------
+# Bucketing protocol
+# ----------------------------------------------------------------------
+
+def fingerprint_bits(num_sites: int, params: SketchParams) -> int:
+    """Width of the compressing fingerprint ``G``:
+    ``O(log(k * Thresh * t / delta))`` so that all shipped elements get
+    distinct fingerprints except with probability ``delta/2``."""
+    shipped = num_sites * params.thresh * params.repetitions
+    return max(8, math.ceil(2 * math.log2(max(2, shipped))
+                            + math.log2(1.0 / params.delta)) + 1)
+
+
+def distributed_bucketing(site_formulas: Sequence[DnfFormula],
+                          params: SketchParams, rng: RandomSource,
+                          shared_randomness: bool = True
+                          ) -> DistributedResult:
+    """Sites ship compressed cell contents; the coordinator replays
+    ApproxMC's level logic on the union."""
+    n = _check_sites(site_formulas)
+    k = len(site_formulas)
+    thresh = params.thresh
+    reps = params.repetitions
+    channel = BitChannel()
+
+    family = ToeplitzHashFamily(n, n)
+    hashes = [family.sample(rng) for _ in range(reps)]
+    g_bits = fingerprint_bits(k, params)
+    g = XorHashFamily(n, g_bits).sample(rng)
+    description = sum(h.seed_bits for h in hashes) + g.seed_bits
+    _charge_hash_setup(channel, k, description, shared_randomness)
+
+    tuple_bits = g_bits + level_bits(n)
+    raw_estimates: List[float] = []
+    chosen_levels: List[int] = []
+    for i in range(reps):
+        h = hashes[i]
+        # Site messages: (fingerprint, cell level) per element of the
+        # site's final cell.
+        per_site: List[List[Tuple[int, int]]] = []
+        for formula in site_formulas:
+            cell, _level = bucketing_sketch_from_formula(formula, h, thresh)
+            message = [(g.value(x), h.cell_level(x)) for x in cell]
+            channel.upload(len(message) * tuple_bits)
+            per_site.append(message)
+        # Coordinator: raise the level until the union cell is small.
+        level = max((min((lv for _fp, lv in msg), default=0)
+                     for msg in per_site), default=0)
+        while True:
+            distinct: Set[int] = set()
+            for msg in per_site:
+                distinct.update(fp for fp, lv in msg if lv >= level)
+            if len(distinct) < thresh or level >= n:
+                break
+            level += 1
+        raw_estimates.append(len(distinct) * float(1 << level))
+        chosen_levels.append(level)
+
+    return DistributedResult(
+        estimate=median(raw_estimates),
+        total_bits=channel.total_bits,
+        broadcast_bits=channel.broadcast_bits,
+        upload_bits=channel.upload_bits,
+        num_sites=k,
+        details={"levels": chosen_levels},
+    )
+
+
+# ----------------------------------------------------------------------
+# Minimum protocol
+# ----------------------------------------------------------------------
+
+def distributed_minimum(site_formulas: Sequence[DnfFormula],
+                        params: SketchParams, rng: RandomSource,
+                        shared_randomness: bool = True
+                        ) -> DistributedResult:
+    """Sites ship their FindMin sketches (Thresh values of 3n bits each);
+    the coordinator keeps the Thresh smallest of the union."""
+    n = _check_sites(site_formulas)
+    k = len(site_formulas)
+    thresh = params.thresh
+    reps = params.repetitions
+    channel = BitChannel()
+
+    family = ToeplitzHashFamily(n, 3 * n)
+    hashes = [family.sample(rng) for _ in range(reps)]
+    description = sum(h.seed_bits for h in hashes)
+    _charge_hash_setup(channel, k, description, shared_randomness)
+
+    value_bits = 3 * n
+    raw_estimates: List[float] = []
+    for i in range(reps):
+        h = hashes[i]
+        merged: Set[int] = set()
+        for formula in site_formulas:
+            values = find_min_dnf(formula, h, thresh)
+            channel.upload(len(values) * value_bits)
+            merged.update(values)
+        kept = sorted(merged)[:thresh]
+        raw_estimates.append(
+            estimate_from_min_sketch(kept, thresh, h.out_bits))
+
+    return DistributedResult(
+        estimate=median(raw_estimates),
+        total_bits=channel.total_bits,
+        broadcast_bits=channel.broadcast_bits,
+        upload_bits=channel.upload_bits,
+        num_sites=k,
+    )
+
+
+# ----------------------------------------------------------------------
+# Estimation protocol
+# ----------------------------------------------------------------------
+
+def distributed_estimation(site_formulas: Sequence[DnfFormula],
+                           params: SketchParams, rng: RandomSource,
+                           shared_randomness: bool = True,
+                           fm_repetitions: int = 9) -> DistributedResult:
+    """Sites ship max-trail-zero levels per hash; the coordinator takes
+    entrywise maxima (the sketch combine) and applies the Lemma 3
+    estimator, with the coarse ``r`` from a distributed FlajoletMartin
+    round (linear hashes, polynomial per site)."""
+    n = _check_sites(site_formulas)
+    k = len(site_formulas)
+    thresh = params.thresh
+    reps = params.repetitions
+    channel = BitChannel()
+
+    s = independence_for_eps(params.eps)
+    family = KWiseHashFamily(n, s)
+    grid = [[family.sample(rng) for _ in range(thresh)]
+            for _ in range(reps)]
+    fm_family = XorHashFamily(n, n)
+    fm_hashes = [fm_family.sample(rng) for _ in range(fm_repetitions)]
+    description = reps * thresh * s * n \
+        + sum(h.seed_bits for h in fm_hashes)
+    _charge_hash_setup(channel, k, description, shared_randomness)
+
+    lb = level_bits(n)
+    # FlajoletMartin round: each site sends its max level per FM hash.
+    fm_levels = [-1] * fm_repetitions
+    for formula in site_formulas:
+        for j, h in enumerate(fm_hashes):
+            level = _max_level_dnf(formula, h)
+            channel.upload(lb)
+            fm_levels[j] = max(fm_levels[j], level)
+    coarse = median(fm_levels)
+    if coarse < 0:
+        return DistributedResult(
+            estimate=0.0, total_bits=channel.total_bits,
+            broadcast_bits=channel.broadcast_bits,
+            upload_bits=channel.upload_bits, num_sites=k,
+            details={"r": None})
+    r = max(0, min(int(coarse) + 3, n))
+
+    # Main round: sites send S[i, j, site]; coordinator takes maxima.
+    oracles: Dict[int, EnumerationOracle] = {}
+    maxima = [[0] * thresh for _ in range(reps)]
+    for site_idx, formula in enumerate(site_formulas):
+        oracle = EnumerationOracle.from_dnf(formula)
+        oracles[site_idx] = oracle
+        for i in range(reps):
+            for j in range(thresh):
+                h = grid[i][j]
+                level = max((h.trail_zeros(z) for z in oracle.solutions),
+                            default=0)
+                channel.upload(lb)
+                maxima[i][j] = max(maxima[i][j], level)
+
+    raw_estimates = [estimate_from_levels(maxima[i], r)
+                     for i in range(reps)]
+    return DistributedResult(
+        estimate=median(raw_estimates),
+        total_bits=channel.total_bits,
+        broadcast_bits=channel.broadcast_bits,
+        upload_bits=channel.upload_bits,
+        num_sites=k,
+        details={"r": r},
+    )

@@ -1,0 +1,44 @@
+"""Boolean formula representations: CNF, DNF, XOR constraints.
+
+Variables are 1-indexed (DIMACS style); an assignment over ``n`` variables is
+an integer whose bit ``v - 1`` is the value of variable ``v``.  A *solution*
+(the paper's ``Sol(phi)``) is any assignment over exactly the formula's
+``num_vars`` variables that satisfies it, i.e. variables not occurring in the
+formula are free — this matches the paper's convention ``n = |Vars(phi)|``
+with the solution space living in ``{0,1}^n``.
+"""
+
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dnf import DnfFormula, DnfTerm
+from repro.formulas.dimacs import (
+    parse_dimacs_cnf,
+    parse_dimacs_dnf,
+    write_dimacs_cnf,
+    write_dimacs_dnf,
+)
+from repro.formulas.generators import (
+    fixed_count_cnf,
+    fixed_count_dnf,
+    planted_k_cnf,
+    random_dnf,
+    random_k_cnf,
+)
+from repro.formulas.weights import WeightFunction
+from repro.formulas.xor_constraint import XorConstraint
+
+__all__ = [
+    "CnfFormula",
+    "DnfFormula",
+    "DnfTerm",
+    "WeightFunction",
+    "XorConstraint",
+    "fixed_count_cnf",
+    "fixed_count_dnf",
+    "parse_dimacs_cnf",
+    "parse_dimacs_dnf",
+    "planted_k_cnf",
+    "random_dnf",
+    "random_k_cnf",
+    "write_dimacs_cnf",
+    "write_dimacs_dnf",
+]

@@ -1,0 +1,109 @@
+"""CNF formulas with fast bitmask evaluation.
+
+A clause is a tuple of non-zero DIMACS literals; the formula is their
+conjunction.  Evaluation against integer assignments is mask-based so the
+brute-force reference counters in :mod:`repro.core.exact` stay usable up to
+about 2^22 assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.common.errors import InvalidParameterError
+
+
+def _check_literals(lits: Sequence[int], num_vars: int) -> Tuple[int, ...]:
+    clause = tuple(int(l) for l in lits)
+    for lit in clause:
+        if lit == 0:
+            raise InvalidParameterError("literal 0 is not allowed")
+        if abs(lit) > num_vars:
+            raise InvalidParameterError(
+                f"literal {lit} exceeds num_vars={num_vars}")
+    return clause
+
+
+def _masks(lits: Sequence[int]) -> Tuple[int, int]:
+    """Return (positive-literal mask, negative-literal mask)."""
+    pos = 0
+    neg = 0
+    for lit in lits:
+        if lit > 0:
+            pos |= 1 << (lit - 1)
+        else:
+            neg |= 1 << (-lit - 1)
+    return pos, neg
+
+
+class CnfFormula:
+    """An immutable CNF formula over variables ``1 .. num_vars``."""
+
+    __slots__ = ("num_vars", "clauses", "_clause_masks")
+
+    def __init__(self, num_vars: int,
+                 clauses: Iterable[Sequence[int]]) -> None:
+        if num_vars < 0:
+            raise InvalidParameterError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.clauses: Tuple[Tuple[int, ...], ...] = tuple(
+            _check_literals(c, num_vars) for c in clauses)
+        self._clause_masks: List[Tuple[int, int]] = [
+            _masks(c) for c in self.clauses]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: int) -> bool:
+        """True iff ``assignment`` (bit ``v-1`` = var ``v``) satisfies
+        every clause."""
+        full = (1 << self.num_vars) - 1
+        neg_assignment = ~assignment & full
+        for pos, neg in self._clause_masks:
+            if not (assignment & pos) and not (neg_assignment & neg):
+                return False
+        return True
+
+    def solutions_bruteforce(self) -> Iterator[int]:
+        """Yield every satisfying assignment (intended for small tests)."""
+        for x in range(1 << self.num_vars):
+            if self.evaluate(x):
+                yield x
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def conjoin(self, other: "CnfFormula") -> "CnfFormula":
+        """Conjunction of two CNF formulas (over the larger variable set)."""
+        return CnfFormula(max(self.num_vars, other.num_vars),
+                          self.clauses + other.clauses)
+
+    def shift_variables(self, offset: int) -> "CnfFormula":
+        """Rename every variable ``v`` to ``v + offset`` (for building
+        multi-block formulas such as the d-dimensional range CNFs)."""
+        if offset < 0:
+            raise InvalidParameterError("offset must be non-negative")
+        shifted = [
+            tuple(l + offset if l > 0 else l - offset for l in clause)
+            for clause in self.clauses
+        ]
+        return CnfFormula(self.num_vars + offset, shifted)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CnfFormula):
+            return NotImplemented
+        return (self.num_vars == other.num_vars
+                and self.clauses == other.clauses)
+
+    def __hash__(self) -> int:
+        return hash((self.num_vars, self.clauses))
+
+    def __repr__(self) -> str:
+        return (f"CnfFormula(num_vars={self.num_vars}, "
+                f"num_clauses={len(self.clauses)})")

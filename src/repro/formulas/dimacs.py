@@ -1,0 +1,88 @@
+"""DIMACS readers and writers.
+
+CNF uses the standard ``p cnf <vars> <clauses>`` dialect.  DNF uses the
+analogous ``p dnf <vars> <terms>`` dialect found in DNF-counting tool
+distributions (each line is one term, 0-terminated).  Comments (``c ...``)
+are preserved on write via the optional ``comments`` argument and skipped on
+read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.common.errors import InvalidParameterError
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dnf import DnfFormula
+
+
+def _parse(text: str, expected_kind: str) -> Tuple[int, List[List[int]]]:
+    num_vars = None
+    declared_groups = None
+    groups: List[List[int]] = []
+    current: List[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != expected_kind:
+                raise InvalidParameterError(
+                    f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            declared_groups = int(parts[3])
+            continue
+        if num_vars is None:
+            raise InvalidParameterError(
+                "literal line before the problem line")
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                groups.append(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        raise InvalidParameterError("final clause/term not 0-terminated")
+    if num_vars is None:
+        raise InvalidParameterError("missing problem line")
+    if declared_groups is not None and declared_groups != len(groups):
+        raise InvalidParameterError(
+            f"declared {declared_groups} groups, found {len(groups)}")
+    return num_vars, groups
+
+
+def parse_dimacs_cnf(text: str) -> CnfFormula:
+    """Parse a DIMACS CNF document."""
+    num_vars, clauses = _parse(text, "cnf")
+    return CnfFormula(num_vars, clauses)
+
+
+def parse_dimacs_dnf(text: str) -> DnfFormula:
+    """Parse a ``p dnf`` document."""
+    num_vars, terms = _parse(text, "dnf")
+    return DnfFormula(num_vars, terms)
+
+
+def _write(kind: str, num_vars: int, groups: Iterable[Sequence[int]],
+           comments: Sequence[str]) -> str:
+    lines = [f"c {c}" for c in comments]
+    groups = list(groups)
+    lines.append(f"p {kind} {num_vars} {len(groups)}")
+    for group in groups:
+        lines.append(" ".join(str(l) for l in group) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs_cnf(formula: CnfFormula,
+                     comments: Sequence[str] = ()) -> str:
+    """Serialise a CNF formula to DIMACS text."""
+    return _write("cnf", formula.num_vars, formula.clauses, comments)
+
+
+def write_dimacs_dnf(formula: DnfFormula,
+                     comments: Sequence[str] = ()) -> str:
+    """Serialise a DNF formula to ``p dnf`` text."""
+    return _write("dnf", formula.num_vars,
+                  [t.literals for t in formula.terms], comments)

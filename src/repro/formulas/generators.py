@@ -1,0 +1,84 @@
+"""Random and structured formula generators for tests and benchmarks.
+
+Two flavours:
+
+* *random* instances (``random_k_cnf``, ``random_dnf``, ``planted_k_cnf``)
+  for behaviour under typical inputs;
+* *fixed-count* instances (``fixed_count_cnf``, ``fixed_count_dnf``) whose
+  exact model count is ``2**log2_count`` by construction, used wherever a
+  guarantee test needs ground truth without brute-force counting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import InvalidParameterError
+from repro.common.rng import RandomSource
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dnf import DnfFormula
+
+
+def _random_clause(rng: RandomSource, num_vars: int, k: int) -> List[int]:
+    variables = rng.sample(range(1, num_vars + 1), k)
+    return [v if rng.getrandbits(1) else -v for v in variables]
+
+
+def random_k_cnf(rng: RandomSource, num_vars: int, num_clauses: int,
+                 k: int = 3) -> CnfFormula:
+    """Uniform random k-CNF: each clause picks ``k`` distinct variables and
+    random polarities."""
+    if k > num_vars:
+        raise InvalidParameterError("clause width exceeds num_vars")
+    return CnfFormula(num_vars,
+                      [_random_clause(rng, num_vars, k)
+                       for _ in range(num_clauses)])
+
+
+def planted_k_cnf(rng: RandomSource, num_vars: int, num_clauses: int,
+                  k: int = 3) -> CnfFormula:
+    """Random k-CNF guaranteed satisfiable: a hidden assignment is sampled
+    and every clause is re-rolled until it satisfies it."""
+    if k > num_vars:
+        raise InvalidParameterError("clause width exceeds num_vars")
+    hidden = rng.getrandbits(num_vars) if num_vars else 0
+    clauses = []
+    for _ in range(num_clauses):
+        while True:
+            clause = _random_clause(rng, num_vars, k)
+            if any((lit > 0) == bool((hidden >> (abs(lit) - 1)) & 1)
+                   for lit in clause):
+                clauses.append(clause)
+                break
+    return CnfFormula(num_vars, clauses)
+
+
+def random_dnf(rng: RandomSource, num_vars: int, num_terms: int,
+               width: int) -> DnfFormula:
+    """Uniform random DNF: each term fixes ``width`` distinct variables."""
+    if width > num_vars:
+        raise InvalidParameterError("term width exceeds num_vars")
+    terms = []
+    for _ in range(num_terms):
+        variables = rng.sample(range(1, num_vars + 1), width)
+        terms.append([v if rng.getrandbits(1) else -v for v in variables])
+    return DnfFormula(num_vars, terms)
+
+
+def fixed_count_cnf(num_vars: int, log2_count: int) -> CnfFormula:
+    """A CNF with exactly ``2**log2_count`` models: unit clauses pin the
+    first ``num_vars - log2_count`` variables to true."""
+    if not 0 <= log2_count <= num_vars:
+        raise InvalidParameterError("log2_count out of range")
+    pinned = num_vars - log2_count
+    return CnfFormula(num_vars, [[v] for v in range(1, pinned + 1)])
+
+
+def fixed_count_dnf(num_vars: int, log2_count: int) -> DnfFormula:
+    """A single-term DNF with exactly ``2**log2_count`` models."""
+    if not 0 <= log2_count <= num_vars:
+        raise InvalidParameterError("log2_count out of range")
+    pinned = num_vars - log2_count
+    if pinned == 0:
+        return DnfFormula(num_vars, [[]])
+    return DnfFormula(num_vars, [[v for v in range(1, pinned + 1)]])

@@ -1,0 +1,86 @@
+"""Dyadic literal weights for weighted model counting (Section 5).
+
+Following the paper (and Chakraborty et al.'s weighted-to-unweighted
+reduction), each variable ``x_i`` has weight ``rho(x_i) = k_i / 2**m_i``
+with ``0 < k_i < 2**m_i``; the weight of an assignment multiplies
+``rho(x_i)`` for true variables and ``1 - rho(x_i)`` for false ones, and
+``W(phi)`` sums assignment weights over ``Sol(phi)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Tuple
+
+from repro.common.errors import InvalidParameterError
+from repro.formulas.dnf import DnfFormula
+
+
+class WeightFunction:
+    """Per-variable dyadic weights ``rho(x_v) = k_v / 2**m_v``."""
+
+    __slots__ = ("num_vars", "_weights")
+
+    def __init__(self, num_vars: int,
+                 weights: Dict[int, Tuple[int, int]]) -> None:
+        """``weights[v] = (k, m)`` meaning ``rho(x_v) = k / 2**m``.
+        Unlisted variables default to ``1/2`` (the unweighted case)."""
+        self.num_vars = num_vars
+        self._weights: Dict[int, Tuple[int, int]] = {}
+        for v, (k, m) in weights.items():
+            if not 1 <= v <= num_vars:
+                raise InvalidParameterError(f"variable {v} out of range")
+            if m < 1 or not 0 < k < (1 << m):
+                raise InvalidParameterError(
+                    f"weight {k}/2^{m} for variable {v} not in (0, 1)")
+            self._weights[v] = (k, m)
+
+    def numerator_and_bits(self, v: int) -> Tuple[int, int]:
+        """Return ``(k_v, m_v)``."""
+        return self._weights.get(v, (1, 1))
+
+    def rho(self, v: int) -> Fraction:
+        """The probability-like weight of variable ``v`` being true."""
+        k, m = self.numerator_and_bits(v)
+        return Fraction(k, 1 << m)
+
+    def total_bits(self) -> int:
+        """``sum_v m_v`` -- the exponent in the paper's
+        ``W(phi) = F0 / 2**(sum m_i)`` identity."""
+        return sum(self.numerator_and_bits(v)[1]
+                   for v in range(1, self.num_vars + 1))
+
+    def assignment_weight(self, assignment: int) -> Fraction:
+        """``prod rho(x_v)`` over true vars times ``prod (1 - rho)`` over
+        false vars."""
+        weight = Fraction(1)
+        for v in range(1, self.num_vars + 1):
+            r = self.rho(v)
+            weight *= r if (assignment >> (v - 1)) & 1 else 1 - r
+        return weight
+
+    def formula_weight_bruteforce(self, formula: DnfFormula) -> Fraction:
+        """Exact ``W(phi)`` by summing over all assignments (small tests)."""
+        if formula.num_vars != self.num_vars:
+            raise InvalidParameterError("variable counts differ")
+        return sum((self.assignment_weight(x)
+                    for x in formula.solutions_bruteforce()),
+                   start=Fraction(0))
+
+    @classmethod
+    def uniform(cls, num_vars: int) -> "WeightFunction":
+        """All weights ``1/2``: ``W(phi) = |Sol(phi)| / 2**n``."""
+        return cls(num_vars, {})
+
+    @classmethod
+    def random(cls, rng, num_vars: int, max_bits: int = 4) -> "WeightFunction":
+        """Random dyadic weights with 1..max_bits precision bits each."""
+        weights = {}
+        for v in range(1, num_vars + 1):
+            m = rng.randint(1, max_bits)
+            k = rng.randint(1, (1 << m) - 1)
+            weights[v] = (k, m)
+        return cls(num_vars, weights)
+
+    def __repr__(self) -> str:
+        return f"WeightFunction(num_vars={self.num_vars})"

@@ -1,0 +1,178 @@
+"""Dense GF(2) matrices as lists of integer rows.
+
+A matrix with ``ncols`` columns is a ``list[int]`` where row ``r`` is an
+integer whose bit ``j`` (LSB-indexed) is the entry in column ``j``.  This
+representation makes row operations single XORs and matrix-vector products a
+popcount, which is the fastest dense GF(2) kernel available in pure Python.
+
+Two pivoting conventions are provided because the library needs both:
+
+* :func:`solve_affine_system` and :func:`nullspace_basis` pivot on the
+  *lowest* set bit -- order is irrelevant for solving.
+* :func:`rref_msb` pivots on the *highest* set bit, producing the reduced
+  basis used to enumerate the numerically smallest elements of an affine
+  subspace (see :class:`repro.gf2.affine.AffineSubspace`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.rng import RandomSource
+
+
+def mat_vec_mul(rows: Sequence[int], x: int) -> int:
+    """Multiply a GF(2) matrix by a column vector.
+
+    The result has the bit for row ``r`` at position ``r`` (LSB-indexed);
+    callers that need the paper's "row 0 is the first/most significant bit"
+    convention repack at the hashing layer.
+    """
+    out = 0
+    for r, row in enumerate(rows):
+        out |= ((row & x).bit_count() & 1) << r
+    return out
+
+
+def random_matrix_rows(rng: RandomSource, nrows: int, ncols: int,
+                       density: float = 0.5) -> List[int]:
+    """Sample a uniform (or sparse Bernoulli) random GF(2) matrix.
+
+    ``density == 0.5`` gives the uniform distribution used by ``H_xor``;
+    other densities support the sparse-XOR ablation sketched in the paper's
+    future-work section.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must lie in [0, 1]")
+    if density == 0.5:
+        return [rng.getrandbits(ncols) if ncols else 0 for _ in range(nrows)]
+    rows = []
+    for _ in range(nrows):
+        row = 0
+        for j in range(ncols):
+            if rng.random() < density:
+                row |= 1 << j
+        rows.append(row)
+    return rows
+
+
+def rank(rows: Sequence[int]) -> int:
+    """Return the GF(2) rank of the matrix."""
+    # A standard XOR basis indexed by leading-bit position: insertion reduces
+    # the candidate by the unique basis vector sharing its leading bit until
+    # it is zero or has a fresh leading bit.
+    by_lead: dict[int, int] = {}
+    for row in rows:
+        while row:
+            lead = row.bit_length()
+            if lead not in by_lead:
+                by_lead[lead] = row
+                break
+            row ^= by_lead[lead]
+    return len(by_lead)
+
+
+def rref_msb(vectors: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Reduced row echelon form with *most-significant-bit* pivots.
+
+    Returns ``(basis, pivots)`` where ``basis`` is sorted by decreasing pivot
+    position, each pivot bit appears in exactly one basis vector, and
+    ``pivots[i]`` is the bit position of ``basis[i]``'s leading bit.
+    """
+    basis: List[int] = []
+    for vec in vectors:
+        # Forward-reduce by leading bits until independent or zero.
+        changed = True
+        while vec and changed:
+            changed = False
+            for b in basis:
+                if vec.bit_length() == b.bit_length():
+                    vec ^= b
+                    changed = True
+                    break
+        if vec:
+            basis.append(vec)
+    basis.sort(key=int.bit_length, reverse=True)
+    # Back-substitute so each pivot appears only in its own vector.
+    for i in range(len(basis)):
+        for j in range(i):
+            if (basis[j] >> (basis[i].bit_length() - 1)) & 1:
+                basis[j] ^= basis[i]
+    pivots = [b.bit_length() - 1 for b in basis]
+    return basis, pivots
+
+
+def reduce_modulo_basis(vec: int, basis: Sequence[int]) -> int:
+    """Clear every pivot bit of an MSB-first RREF ``basis`` from ``vec``."""
+    for b in basis:
+        if (vec >> (b.bit_length() - 1)) & 1:
+            vec ^= b
+    return vec
+
+
+def solve_affine_system(
+    rows: Sequence[int],
+    rhs: Sequence[int],
+    ncols: int,
+) -> Optional[Tuple[int, List[int]]]:
+    """Solve ``A x = b`` over GF(2).
+
+    ``rows[r]`` is row ``r`` of ``A`` (column ``j`` at bit ``j``) and
+    ``rhs[r]`` its right-hand-side bit.  Returns ``None`` when the system is
+    inconsistent, else ``(x0, basis)`` where ``x0`` is one solution and
+    ``basis`` spans the nullspace of ``A`` (so the full solution set is
+    ``{x0 ^ span(basis)}``, of size ``2**len(basis)``).
+    """
+    if len(rows) != len(rhs):
+        raise ValueError("rows and rhs must have equal length")
+    rhs_bit = 1 << ncols  # Augmented column position.
+    aug: List[int] = []
+    for row, b in zip(rows, rhs):
+        if row >> ncols:
+            raise ValueError("row has bits beyond ncols")
+        aug.append(row | (rhs_bit if b & 1 else 0))
+
+    pivot_of_col: dict[int, int] = {}
+    reduced: List[int] = []
+    for vec in aug:
+        for col, idx in pivot_of_col.items():
+            if (vec >> col) & 1:
+                vec ^= reduced[idx]
+        coeffs = vec & (rhs_bit - 1)
+        if coeffs == 0:
+            if vec:  # 0 = 1: inconsistent.
+                return None
+            continue
+        col = (coeffs & -coeffs).bit_length() - 1
+        # Eliminate the new pivot from previously reduced rows.
+        for i, other in enumerate(reduced):
+            if (other >> col) & 1:
+                reduced[i] = other ^ vec
+        pivot_of_col[col] = len(reduced)
+        reduced.append(vec)
+
+    # Particular solution: set each pivot column from its row's rhs, free
+    # columns to zero.
+    x0 = 0
+    for col, idx in pivot_of_col.items():
+        if (reduced[idx] >> ncols) & 1:
+            x0 |= 1 << col
+    # Nullspace basis: one vector per free column.
+    basis: List[int] = []
+    pivot_cols = set(pivot_of_col)
+    for col in range(ncols):
+        if col in pivot_cols:
+            continue
+        vec = 1 << col
+        for pcol, idx in pivot_of_col.items():
+            if (reduced[idx] >> col) & 1:
+                vec |= 1 << pcol
+        basis.append(vec)
+    return x0, basis
+
+
+def nullspace_basis(rows: Sequence[int], ncols: int) -> List[int]:
+    """Return a basis of ``{x : A x = 0}``."""
+    solution = solve_affine_system(rows, [0] * len(rows), ncols)
+    assert solution is not None  # The homogeneous system is always solvable.
+    return solution[1]

@@ -1,0 +1,41 @@
+"""Hash families used by both the streaming and the counting algorithms.
+
+The paper needs three families over ``h : {0,1}^n -> {0,1}^m``:
+
+* :class:`ToeplitzHashFamily` (``H_Toeplitz``) -- 2-wise independent,
+  Theta(n) representation bits; the default everywhere.
+* :class:`XorHashFamily` (``H_xor``) -- 2-wise independent with a dense (or,
+  for the sparse-XOR ablation, Bernoulli-``rho``) random matrix,
+  Theta(n^2) representation bits.
+* :class:`KWiseHashFamily` (``H_{s-wise}``) -- s-wise independent degree-
+  ``s-1`` polynomials over GF(2^n); required by the Estimation algorithm.
+
+All hash values are integers whose **most significant bit is row 0** ("the
+first bit" of the paper), so numeric order equals lexicographic order of the
+output bit string and the paper's prefix-slices ``h_m`` are right-shifts.
+"""
+
+from repro.hashing.base import (
+    HashFunction,
+    HashFamily,
+    LinearHash,
+    cell_level,
+    trail_zeros_of_value,
+)
+from repro.hashing.kwise import KWiseHash, KWiseHashFamily
+from repro.hashing.pick import pick_hash_functions
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.hashing.xor import XorHashFamily
+
+__all__ = [
+    "HashFamily",
+    "HashFunction",
+    "KWiseHash",
+    "KWiseHashFamily",
+    "LinearHash",
+    "ToeplitzHashFamily",
+    "XorHashFamily",
+    "cell_level",
+    "pick_hash_functions",
+    "trail_zeros_of_value",
+]

@@ -1,0 +1,200 @@
+"""Hash function interfaces and the paper's bit conventions.
+
+Conventions (used consistently across the whole repository):
+
+* A hash value is an ``int`` in ``[0, 2**out_bits)`` whose **most
+  significant bit is row 0**, i.e. the paper's "first bit".  Numeric order
+  on values therefore equals lexicographic order on output bit strings,
+  which is what the Minimum sketch and FindMin rely on.
+* The paper's prefix-slice ``h_m`` ("the first m bits of h") is
+  ``value >> (out_bits - m)``.
+* The Bucketing cell membership test ``h_m(x) == 0^m`` is
+  ``cell_level(value) >= m`` where :func:`cell_level` counts leading zero
+  rows.
+* The Estimation sketch's ``TrailZero`` counts trailing (least significant)
+  zero bits of the value, i.e. zero *last* rows -- exactly the paper's
+  "least significant bits equal to zero" in Proposition 3.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.common.bitvec import trailing_zeros
+from repro.common.rng import RandomSource
+
+
+def cell_level(value: int, out_bits: int) -> int:
+    """Number of leading zero rows: the deepest level ``m`` such that the
+    prefix-slice ``h_m(x)`` is ``0^m``."""
+    if value >> out_bits:
+        raise ValueError("hash value wider than out_bits")
+    return out_bits - value.bit_length()
+
+
+def trail_zeros_of_value(value: int, out_bits: int) -> int:
+    """The paper's ``TrailZero``: trailing zero bits of the hash value."""
+    return trailing_zeros(value, out_bits)
+
+
+@runtime_checkable
+class HashFunction(Protocol):
+    """A sampled hash function ``{0,1}^in_bits -> {0,1}^out_bits``."""
+
+    in_bits: int
+    out_bits: int
+
+    def value(self, x: int) -> int:
+        """Full hash value (row 0 at the most significant bit)."""
+        ...
+
+    def prefix_value(self, x: int, m: int) -> int:
+        """The paper's prefix slice ``h_m(x)`` as an ``m``-bit int."""
+        ...
+
+    @property
+    def seed_bits(self) -> int:
+        """Bits needed to transmit this function (distributed accounting)."""
+        ...
+
+
+class HashFamily(abc.ABC):
+    """A distribution over hash functions; ``sample`` draws one."""
+
+    def __init__(self, in_bits: int, out_bits: int) -> None:
+        if in_bits < 0 or out_bits < 0:
+            raise ValueError("hash dimensions must be non-negative")
+        self.in_bits = in_bits
+        self.out_bits = out_bits
+
+    @abc.abstractmethod
+    def sample(self, rng: RandomSource) -> HashFunction:
+        """Draw a uniform member of the family."""
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(in_bits={self.in_bits}, "
+                f"out_bits={self.out_bits})")
+
+
+class LinearHash:
+    """An affine GF(2) hash ``h(x) = A x + b``.
+
+    ``rows[r]`` is row ``r`` of ``A`` (input bit ``j`` at position ``j``) and
+    ``offsets[r]`` the bit ``b_r``.  Being affine is what lets the counting
+    algorithms push ``h_m(x) = 0^m`` into a SAT solver as XOR constraints
+    (:meth:`prefix_constraints`) and intersect with DNF terms by Gaussian
+    elimination.
+    """
+
+    __slots__ = ("in_bits", "out_bits", "rows", "offsets", "_seed_bits")
+
+    is_linear = True
+
+    def __init__(self, in_bits: int, rows: Sequence[int],
+                 offsets: Sequence[int], seed_bits: int | None = None) -> None:
+        if len(rows) != len(offsets):
+            raise ValueError("rows and offsets must have equal length")
+        self.in_bits = in_bits
+        self.out_bits = len(rows)
+        self.rows = list(rows)
+        self.offsets = [b & 1 for b in offsets]
+        self._seed_bits = (seed_bits if seed_bits is not None
+                           else self.out_bits * (in_bits + 1))
+
+    @property
+    def seed_bits(self) -> int:
+        return self._seed_bits
+
+    def value(self, x: int) -> int:
+        """Full hash value, row 0 at the MSB."""
+        m = self.out_bits
+        out = 0
+        for r, row in enumerate(self.rows):
+            bit = ((row & x).bit_count() + self.offsets[r]) & 1
+            if bit:
+                out |= 1 << (m - 1 - r)
+        return out
+
+    def prefix_value(self, x: int, m: int) -> int:
+        """``h_m(x)``: the first ``m`` output bits as an ``m``-bit int."""
+        if not 0 <= m <= self.out_bits:
+            raise ValueError("prefix length out of range")
+        out = 0
+        for r in range(m):
+            bit = ((self.rows[r] & x).bit_count() + self.offsets[r]) & 1
+            if bit:
+                out |= 1 << (m - 1 - r)
+        return out
+
+    def cell_level(self, x: int) -> int:
+        """Largest ``m`` with ``h_m(x) = 0^m`` (leading zero rows)."""
+        return cell_level(self.value(x), self.out_bits)
+
+    def in_cell(self, x: int, m: int) -> bool:
+        """Bucketing membership test ``h_m(x) == 0^m``."""
+        return self.prefix_value(x, m) == 0
+
+    def trail_zeros(self, x: int) -> int:
+        """``TrailZero(h(x))``."""
+        return trailing_zeros(self.value(x), self.out_bits)
+
+    def prefix_constraints(self, m: int,
+                           target: int = 0) -> List[Tuple[int, int]]:
+        """XOR constraints asserting ``h_m(x) == target``.
+
+        Returns ``(mask, rhs)`` pairs: each demands
+        ``parity(mask & x) == rhs``.  ``target`` is an ``m``-bit value in the
+        usual MSB-first row order.
+        """
+        if not 0 <= m <= self.out_bits:
+            raise ValueError("prefix length out of range")
+        if target >> m:
+            raise ValueError("target wider than prefix")
+        constraints = []
+        for r in range(m):
+            want = (target >> (m - 1 - r)) & 1
+            constraints.append((self.rows[r], want ^ self.offsets[r]))
+        return constraints
+
+    def suffix_constraints(self, t: int) -> List[Tuple[int, int]]:
+        """XOR constraints asserting the *last* ``t`` output bits are zero
+        (the FindMaxRange query of Proposition 3 for linear hashes)."""
+        if not 0 <= t <= self.out_bits:
+            raise ValueError("suffix length out of range")
+        constraints = []
+        for r in range(self.out_bits - t, self.out_bits):
+            constraints.append((self.rows[r], self.offsets[r]))
+        return constraints
+
+    def packed_offset(self) -> int:
+        """The offset vector ``b`` packed in value order (row 0 at MSB)."""
+        m = self.out_bits
+        out = 0
+        for r, b in enumerate(self.offsets):
+            if b:
+                out |= 1 << (m - 1 - r)
+        return out
+
+    def image_space(self, space) -> "object":
+        """The image ``{h(x) : x in space}`` as an affine subspace of the
+        *value* space (numeric order == lexicographic order).
+
+        This is the workhorse of FindMin's polynomial-time DNF path
+        (Proposition 2): the ``p`` lexicographically smallest hash values of
+        a term are ``image_space(term space).smallest_elements(p)``.
+        """
+        m = self.out_bits
+        # Row r contributes output bit (m - 1 - r); mat_vec_mul puts row j of
+        # its argument at bit j, so feed rows in reversed order.
+        reversed_rows = list(reversed(self.rows))
+        return space.image(reversed_rows, self.packed_offset(), m)
+
+    def row_slice(self, m: int) -> "LinearHash":
+        """The prefix-slice ``h_m`` as a standalone hash function."""
+        return LinearHash(self.in_bits, self.rows[:m], self.offsets[:m],
+                          seed_bits=self._seed_bits)
+
+    def __repr__(self) -> str:
+        return (f"LinearHash(in_bits={self.in_bits}, "
+                f"out_bits={self.out_bits})")

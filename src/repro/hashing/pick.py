@@ -1,0 +1,30 @@
+"""The paper's ``PickHashFunctions`` subroutine (Algorithm 2 helper).
+
+``pick_hash_functions(family, t, rng)`` draws ``t`` independent members of a
+family; the 2-dimensional variant used by the Estimation algorithm
+(``t x Thresh`` functions) is a list-of-lists built by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.rng import RandomSource
+from repro.hashing.base import HashFamily, HashFunction
+
+
+def pick_hash_functions(family: HashFamily, count: int,
+                        rng: RandomSource) -> List[HashFunction]:
+    """Draw ``count`` independent hash functions from ``family``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [family.sample(rng) for _ in range(count)]
+
+
+def pick_hash_grid(family: HashFamily, rows: int, cols: int,
+                   rng: RandomSource) -> List[List[HashFunction]]:
+    """Draw a ``rows x cols`` grid of independent hash functions
+    (the Estimation algorithm's ``H[i][j]`` collection)."""
+    if rows < 0 or cols < 0:
+        raise ValueError("grid dimensions must be non-negative")
+    return [[family.sample(rng) for _ in range(cols)] for _ in range(rows)]

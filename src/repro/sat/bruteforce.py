@@ -1,0 +1,47 @@
+"""Exhaustive reference solver used to validate the CDCL implementation.
+
+Only suitable for small variable counts (the test suite stays below 2^16
+assignments); intentionally written with zero shared code with the real
+solver so that bugs cannot cancel out.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.xor_constraint import XorConstraint
+
+
+def _satisfies(cnf: CnfFormula, xors: Sequence[XorConstraint],
+               assumptions: Sequence[int], x: int) -> bool:
+    if not cnf.evaluate(x):
+        return False
+    for xc in xors:
+        if not xc.evaluate(x):
+            return False
+    for lit in assumptions:
+        bit = (x >> (abs(lit) - 1)) & 1
+        if (lit > 0) != bool(bit):
+            return False
+    return True
+
+
+def brute_force_models(cnf: CnfFormula,
+                       xors: Iterable[XorConstraint] = (),
+                       assumptions: Sequence[int] = ()) -> List[int]:
+    """All models of ``cnf AND xors AND assumptions``, ascending."""
+    xors = list(xors)
+    return [x for x in range(1 << cnf.num_vars)
+            if _satisfies(cnf, xors, assumptions, x)]
+
+
+def brute_force_solve(cnf: CnfFormula,
+                      xors: Iterable[XorConstraint] = (),
+                      assumptions: Sequence[int] = ()) -> Optional[int]:
+    """One model or None."""
+    xors = list(xors)
+    for x in range(1 << cnf.num_vars):
+        if _satisfies(cnf, xors, assumptions, x):
+            return x
+    return None

@@ -1,0 +1,67 @@
+"""Chunked Tseitin encoding of XOR constraints into CNF.
+
+Kept alongside the native XOR engine for the encoded-vs-native ablation: a
+parity constraint over ``w`` variables needs ``2**(w-1)`` CNF clauses, so
+long XORs are cut into chunks of at most ``chunk_size`` variables chained
+through fresh auxiliary variables (the standard CryptoMiniSat-era
+preprocessing for solvers without parity reasoning).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import InvalidParameterError
+
+
+def _direct_xor_clauses(variables: Sequence[int], rhs: int) -> List[List[int]]:
+    """All ``2**(w-1)`` clauses forbidding assignments of the wrong parity."""
+    w = len(variables)
+    clauses = []
+    for bits in product((0, 1), repeat=w):
+        if (sum(bits) & 1) == rhs:
+            continue  # This assignment is allowed.
+        # Forbid the disallowed assignment: clause of its negation.
+        clauses.append([
+            -v if b else v for v, b in zip(variables, bits)
+        ])
+    return clauses
+
+
+def xor_to_cnf_clauses(
+    variables: Sequence[int],
+    rhs: int,
+    next_aux_var: int,
+    chunk_size: int = 4,
+) -> Tuple[List[List[int]], int]:
+    """Encode ``XOR(variables) == rhs`` as CNF clauses.
+
+    ``next_aux_var`` is the first unused variable number; the return value
+    is ``(clauses, new_next_aux_var)``.  Chains chunks of ``chunk_size``
+    variables through auxiliary parity variables.
+    """
+    if chunk_size < 2:
+        raise InvalidParameterError("chunk_size must be >= 2")
+    variables = list(variables)
+    rhs &= 1
+    if not variables:
+        if rhs == 1:
+            return [[]], next_aux_var  # Empty clause: unsatisfiable.
+        return [], next_aux_var
+    clauses: List[List[int]] = []
+    carry: int | None = None
+    remaining = variables
+    while True:
+        take = chunk_size - (1 if carry is not None else 0)
+        chunk = remaining[:take]
+        remaining = remaining[take:]
+        group = ([carry] if carry is not None else []) + chunk
+        if not remaining:
+            clauses.extend(_direct_xor_clauses(group, rhs))
+            return clauses, next_aux_var
+        # Introduce aux t with XOR(group) = t, i.e. XOR(group + [t]) = 0.
+        aux = next_aux_var
+        next_aux_var += 1
+        clauses.extend(_direct_xor_clauses(group + [aux], 0))
+        carry = aux

@@ -1,0 +1,180 @@
+"""The NP-oracle facade used by every counting algorithm.
+
+The paper measures #CNF algorithms in *number of NP-oracle calls*; this
+module makes that metric first-class.  :class:`NpOracle` wraps the CDCL
+solver, counts every satisfiability decision, and hands out incremental
+:class:`OracleSession` contexts (formula + fixed XOR side constraints +
+blocking clauses + assumption-driven queries).
+
+For the Estimation-based algorithm the oracle must answer queries that
+constrain a *non-linear* (s-wise polynomial) hash of the solution --
+``exists x |= phi with TrailZero(h(x)) >= t`` (Proposition 3).  For linear
+hashes :class:`NpOracle` answers through XOR constraints; for polynomial
+hashes :class:`EnumerationOracle` answers the same queries by witness
+enumeration, preserving the query-count semantics (see DESIGN.md,
+substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Protocol, Sequence, Set
+
+from repro.common.errors import InvalidParameterError
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dnf import DnfFormula
+from repro.formulas.xor_constraint import XorConstraint
+from repro.hashing.base import LinearHash
+from repro.sat.solver import CdclSolver
+
+
+class OracleBackend(Protocol):
+    """The query interface FindMaxRange needs (Proposition 3's oracle)."""
+
+    calls: int
+
+    def exists_with_trailzero_at_least(self, h, t: int) -> bool:
+        """Is there a solution ``z`` with ``TrailZero(h(z)) >= t``?"""
+        ...
+
+
+class OracleSession:
+    """An incremental solving context drawing calls from a parent oracle.
+
+    A session owns a solver loaded with the oracle's formula plus
+    session-specific XOR constraints; callers may add blocking clauses,
+    attach hash output variables, and issue assumption-based queries.
+    Every :meth:`solve` is one NP-oracle call.
+    """
+
+    def __init__(self, oracle: "NpOracle",
+                 xors: Iterable[XorConstraint] = ()) -> None:
+        self._oracle = oracle
+        self._solver = CdclSolver.from_cnf(oracle.formula, xors)
+        self._model: Optional[int] = None
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """One NP-oracle call; remembers the model on success."""
+        self._oracle.calls += 1
+        sat = self._solver.solve(assumptions)
+        self._model = self._solver.model_int() if sat else None
+        return sat
+
+    def model_int(self) -> int:
+        """The model of the last successful :meth:`solve`."""
+        if self._model is None:
+            raise InvalidParameterError("no model available")
+        return self._model
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add a permanent clause (e.g. lexicographic ordering constraints)."""
+        self._solver.add_clause(lits)
+
+    def add_xor_constraint(self, xc: XorConstraint) -> None:
+        """Add a permanent XOR constraint."""
+        self._solver.add_xor_constraint(xc)
+
+    def block_model(self, model: int, num_vars: int) -> None:
+        """Exclude one assignment over variables ``1..num_vars``
+        (the blocking clause of solution enumeration)."""
+        clause = [-v if (model >> (v - 1)) & 1 else v
+                  for v in range(1, num_vars + 1)]
+        self._solver.add_clause(clause)
+
+    def attach_hash(self, h: LinearHash) -> List[int]:
+        """Introduce output variables ``y_r == h(x)_r``.
+
+        Returns the 1-indexed variable numbers ``[y_0, ..., y_{m-1}]``
+        (row 0 first).  FindMin's prefix search then runs entirely on
+        assumptions over these variables.
+        """
+        y_vars = []
+        for r in range(h.out_bits):
+            y = self._solver.new_var()
+            y_vars.append(y)
+            mask = h.rows[r] | (1 << (y - 1))
+            self._solver.add_xor(mask, h.offsets[r])
+        return y_vars
+
+
+class NpOracle:
+    """Call-counting NP oracle for a CNF formula."""
+
+    def __init__(self, formula: CnfFormula) -> None:
+        self.formula = formula
+        #: Total satisfiability decisions issued through this oracle.
+        self.calls = 0
+
+    def session(self, xors: Iterable[XorConstraint] = ()) -> OracleSession:
+        """Open an incremental context (formula + fixed XOR constraints)."""
+        return OracleSession(self, xors)
+
+    def is_satisfiable(self, xors: Iterable[XorConstraint] = (),
+                       assumptions: Sequence[int] = ()) -> bool:
+        """One-shot satisfiability query (one call)."""
+        return self.session(xors).solve(assumptions)
+
+    def exists_with_trailzero_at_least(self, h, t: int) -> bool:
+        """Proposition 3's oracle query, answerable for *linear* hashes by
+        constraining the last ``t`` output rows to zero."""
+        if not getattr(h, "is_linear", False):
+            raise InvalidParameterError(
+                "NpOracle answers trail-zero queries only for linear "
+                "hashes; use EnumerationOracle for polynomial hashes")
+        xors = [XorConstraint(mask, rhs)
+                for mask, rhs in h.suffix_constraints(t)]
+        return self.is_satisfiable(xors)
+
+    def enumerate_models(self, xors: Iterable[XorConstraint] = (),
+                         limit: Optional[int] = None) -> List[int]:
+        """Enumerate models by blocking clauses, up to ``limit``.
+
+        Uses ``len(models) + 1`` oracle calls when the space is exhausted
+        (the final UNSAT certificate), matching Proposition 1's
+        ``O(p)``-calls accounting for BoundedSAT.
+        """
+        session = self.session(xors)
+        models: List[int] = []
+        while limit is None or len(models) < limit:
+            if not session.solve():
+                break
+            model = session.model_int() & ((1 << self.formula.num_vars) - 1)
+            models.append(model)
+            session.block_model(model, self.formula.num_vars)
+        return models
+
+
+class EnumerationOracle:
+    """Witness-enumeration oracle for hash-constrained queries.
+
+    Holds the full solution set (computed once, *not* counted -- this is
+    the simulation substitute documented in DESIGN.md) and answers
+    Proposition 3 queries for arbitrary hash functions, counting one call
+    per query exactly like a real NP oracle would be charged.
+    """
+
+    def __init__(self, solutions: Iterable[int]) -> None:
+        self.solutions: Set[int] = set(solutions)
+        self.calls = 0
+
+    @classmethod
+    def from_cnf(cls, formula: CnfFormula,
+                 limit: Optional[int] = None) -> "EnumerationOracle":
+        """Enumerate a CNF's models (vectorised brute force when the
+        variable count permits, else an uncounted solver loop)."""
+        if formula.num_vars <= 24 and limit is None:
+            from repro.core.exact import cnf_models_numpy
+            return cls(cnf_models_numpy(formula))
+        oracle = NpOracle(formula)
+        models = oracle.enumerate_models(limit=limit)
+        return cls(models)
+
+    @classmethod
+    def from_dnf(cls, formula: DnfFormula,
+                 cap: Optional[int] = None) -> "EnumerationOracle":
+        """Enumerate a DNF's models through the per-term subcubes."""
+        return cls(formula.solution_set(cap=cap))
+
+    def exists_with_trailzero_at_least(self, h, t: int) -> bool:
+        """One (counted) oracle query."""
+        self.calls += 1
+        return any(h.trail_zeros(z) >= t for z in self.solutions)

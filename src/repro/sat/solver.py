@@ -1,0 +1,502 @@
+"""A CDCL SAT solver over CNF clauses plus native XOR constraints.
+
+The design follows MiniSat's architecture, trimmed to what the counting
+algorithms need and extended with a parity engine:
+
+* two-watched-literal clause propagation;
+* first-UIP conflict analysis with clause learning;
+* VSIDS-style variable activities (linear scan -- instance sizes in this
+  repository are tens of variables, where a heap costs more than it saves);
+* Luby-sequence restarts and phase saving;
+* incremental solving under assumptions (used by FindMin's prefix search);
+* XOR constraints propagated natively by parity bookkeeping with lazily
+  materialised reason clauses, so hash constraints never get expanded to
+  CNF (the "native XOR support" the paper highlights as essential to
+  practical ApproxMC).
+
+Literals cross the public API in DIMACS convention (positive/negative
+integers); internally literal ``2*(v-1)`` is "variable v true" and
+``2*(v-1)+1`` is "variable v false".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import InvalidParameterError
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.xor_constraint import XorConstraint
+
+_UNASSIGNED = -1
+
+
+def _lit_internal(dimacs_lit: int) -> int:
+    if dimacs_lit == 0:
+        raise InvalidParameterError("literal 0 is not allowed")
+    v = abs(dimacs_lit) - 1
+    return 2 * v + (0 if dimacs_lit > 0 else 1)
+
+
+def _lit_dimacs(internal_lit: int) -> int:
+    v = (internal_lit >> 1) + 1
+    return v if (internal_lit & 1) == 0 else -v
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed for the benchmark harness."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    solve_calls: int = 0
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-indexed) of the Luby restart sequence
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ..."""
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:  # Smallest k with 2^k - 1 >= i.
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1  # Recurse into the repeated prefix.
+
+
+class CdclSolver:
+    """Incremental CDCL solver; see module docstring for feature set."""
+
+    RESTART_BASE = 100
+    ACTIVITY_DECAY = 0.95
+    ACTIVITY_RESCALE = 1e100
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self.num_vars = 0
+        self.ok = True
+        # Per-variable state (index 0 .. num_vars-1).
+        self._assigns: List[int] = []
+        self._level: List[int] = []
+        self._reason: List[Optional[List[int]]] = []
+        self._activity: List[float] = []
+        self._saved_phase: List[int] = []
+        # Per-literal state (index 0 .. 2*num_vars-1).
+        self._watches: List[List[List[int]]] = []
+        # Clause database: lists of internal literals.
+        self._clauses: List[List[int]] = []
+        # XOR rows: (mask over 0-indexed vars, rhs bit).
+        self._xors: List[Tuple[int, int]] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self.stats = SolverStats()
+        for _ in range(num_vars):
+            self.new_var()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_cnf(cls, cnf: CnfFormula,
+                 xors: Iterable[XorConstraint] = ()) -> "CdclSolver":
+        """Build a solver loaded with a CNF formula and XOR constraints."""
+        solver = cls(cnf.num_vars)
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+        for xc in xors:
+            solver.add_xor_constraint(xc)
+        return solver
+
+    def new_var(self) -> int:
+        """Add a fresh variable; returns its 1-indexed number."""
+        self.num_vars += 1
+        self._assigns.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._saved_phase.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        return self.num_vars
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable table to at least ``num_vars``."""
+        while self.num_vars < num_vars:
+            self.new_var()
+
+    def add_clause(self, dimacs_lits: Sequence[int]) -> bool:
+        """Add a clause; returns False if the solver became trivially UNSAT.
+
+        May be called between :meth:`solve` invocations (blocking clauses);
+        the next solve restarts propagation from the root level.
+        """
+        if not self.ok:
+            return False
+        self._backtrack_to(0)
+        lits: List[int] = []
+        seen: Dict[int, int] = {}
+        for d in dimacs_lits:
+            self.ensure_vars(abs(d))
+            lit = _lit_internal(d)
+            v = lit >> 1
+            if v in seen:
+                if seen[v] != lit:
+                    return True  # Tautology: v or not-v.
+                continue
+            seen[v] = lit
+            lits.append(lit)
+        # Drop root-level-false literals; detect already-satisfied clauses.
+        filtered = []
+        for lit in lits:
+            value = self._lit_value(lit)
+            if value == 1:
+                return True
+            if value == 0:
+                continue  # False at root level: cannot help.
+            filtered.append(lit)
+        if not filtered:
+            self.ok = False
+            return False
+        if len(filtered) == 1:
+            self._enqueue(filtered[0], None)
+            if self._propagate() is not None:
+                self.ok = False
+                return False
+            return True
+        clause = filtered
+        self._clauses.append(clause)
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+        return True
+
+    def add_xor(self, mask: int, rhs: int) -> bool:
+        """Add the parity constraint ``XOR of vars in mask == rhs``."""
+        if not self.ok:
+            return False
+        self._backtrack_to(0)
+        rhs &= 1
+        if mask == 0:
+            if rhs == 1:
+                self.ok = False
+                return False
+            return True
+        self.ensure_vars(mask.bit_length())
+        self._xors.append((mask, rhs))
+        # Root-level propagation opportunity.
+        if self._propagate() is not None:
+            self.ok = False
+            return False
+        return True
+
+    def add_xor_constraint(self, xc: XorConstraint) -> bool:
+        """Add an :class:`XorConstraint` (variable-mask convention)."""
+        return self.add_xor(xc.mask, xc.rhs)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability under the given DIMACS assumptions."""
+        self.stats.solve_calls += 1
+        if not self.ok:
+            return False
+        self._backtrack_to(0)
+        self._qhead = 0
+        if self._propagate() is not None:
+            self.ok = False
+            return False
+        assumed = [_lit_internal(d) for d in assumptions]
+        for lit in assumed:
+            if (lit >> 1) >= self.num_vars:
+                raise InvalidParameterError("assumption on unknown variable")
+
+        conflicts_this_restart = 0
+        restart_number = 1
+        limit = self.RESTART_BASE * _luby(restart_number)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_this_restart += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    return False
+                learnt, backtrack_level = self._analyze(conflict)
+                self._backtrack_to(backtrack_level)
+                self._attach_learnt(learnt)
+                self._decay_activity()
+                continue
+
+            if conflicts_this_restart >= limit:
+                self.stats.restarts += 1
+                conflicts_this_restart = 0
+                restart_number += 1
+                limit = self.RESTART_BASE * _luby(restart_number)
+                self._backtrack_to(0)
+                continue
+
+            next_lit = None
+            while self._decision_level() < len(assumed):
+                p = assumed[self._decision_level()]
+                value = self._lit_value(p)
+                if value == 1:
+                    self._trail_lim.append(len(self._trail))  # Dummy level.
+                elif value == 0:
+                    return False  # Conflicting assumption.
+                else:
+                    next_lit = p
+                    break
+            if next_lit is None:
+                next_lit = self._pick_branch_literal()
+                if next_lit is None:
+                    return True  # All variables assigned: model found.
+                self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(next_lit, None)
+
+    def model_int(self) -> int:
+        """The satisfying assignment as an integer (bit ``v-1`` = var ``v``).
+
+        Only meaningful directly after :meth:`solve` returned True.
+        """
+        out = 0
+        for v in range(self.num_vars):
+            if self._assigns[v] == 1:
+                out |= 1 << v
+        return out
+
+    def value_of(self, var: int) -> Optional[bool]:
+        """Current value of a variable (None if unassigned)."""
+        a = self._assigns[var - 1]
+        return None if a == _UNASSIGNED else bool(a)
+
+    # ------------------------------------------------------------------
+    # Internals: assignment & propagation
+    # ------------------------------------------------------------------
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _lit_value(self, lit: int) -> int:
+        """1 true, 0 false, -1 unassigned."""
+        a = self._assigns[lit >> 1]
+        if a == _UNASSIGNED:
+            return _UNASSIGNED
+        return a ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> None:
+        v = lit >> 1
+        self._assigns[v] = 1 ^ (lit & 1)
+        self._level[v] = self._decision_level()
+        self._reason[v] = reason
+        self._trail.append(lit)
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Run clause and XOR propagation to fixpoint.
+
+        Returns a conflict clause (all literals false) or None.
+        """
+        while True:
+            conflict = self._propagate_clauses()
+            if conflict is not None:
+                return conflict
+            implied = self._propagate_xors()
+            if implied is None:
+                return None  # Fixpoint, no conflict.
+            if isinstance(implied, list):
+                return implied  # XOR conflict clause.
+            # implied is True: an XOR enqueued something; loop again.
+
+    def _propagate_clauses(self) -> Optional[List[int]]:
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = p ^ 1
+            watch_list = self._watches[false_lit]
+            i = 0
+            while i < len(watch_list):
+                clause = watch_list[i]
+                # Normalise: watched false literal at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    i += 1
+                    continue
+                # Search for a replacement watch.
+                replaced = False
+                for j in range(2, len(clause)):
+                    if self._lit_value(clause[j]) != 0:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self._watches[clause[1]].append(clause)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                if self._lit_value(first) == 0:
+                    return clause  # Conflict.
+                self._enqueue(first, clause)
+                i += 1
+        return None
+
+    def _propagate_xors(self):
+        """Scan XOR rows for units/conflicts.
+
+        Returns None (nothing to do), True (enqueued an implication) or a
+        conflict clause.  Lazily materialises reason clauses from parity
+        rows -- the native-XOR trick that avoids CNF expansion.
+        """
+        for mask, rhs in self._xors:
+            parity = 0
+            unassigned_var = -1
+            unassigned_count = 0
+            m = mask
+            while m:
+                v = (m & -m).bit_length() - 1
+                m &= m - 1
+                a = self._assigns[v]
+                if a == _UNASSIGNED:
+                    unassigned_count += 1
+                    if unassigned_count > 1:
+                        break
+                    unassigned_var = v
+                else:
+                    parity ^= a
+            if unassigned_count > 1:
+                continue
+            if unassigned_count == 0:
+                if parity != rhs:
+                    return self._xor_clause(mask, exclude=-1)
+                continue
+            implied_value = parity ^ rhs
+            lit = 2 * unassigned_var + (0 if implied_value else 1)
+            reason = self._xor_clause(mask, exclude=unassigned_var)
+            reason.insert(0, lit)
+            self._enqueue(lit, reason)
+            return True
+        return None
+
+    def _xor_clause(self, mask: int, exclude: int) -> List[int]:
+        """Clause of currently-false literals over the row's assigned vars."""
+        out = []
+        m = mask
+        while m:
+            v = (m & -m).bit_length() - 1
+            m &= m - 1
+            if v == exclude:
+                continue
+            # Variable v is assigned; the literal matching *the opposite* of
+            # its value is false right now.
+            out.append(2 * v + (1 if self._assigns[v] == 1 else 0))
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals: conflict analysis & learning
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
+        """First-UIP analysis; returns (learnt clause, backtrack level)."""
+        current_level = self._decision_level()
+        learnt: List[int] = [0]  # Slot 0 for the asserting literal.
+        seen = set()
+        counter = 0
+        p = None
+        reason_lits = conflict
+        trail_idx = len(self._trail) - 1
+
+        while True:
+            start = 0 if p is None else 1
+            for q in reason_lits[start:]:
+                v = q >> 1
+                if v in seen or self._level[v] == 0:
+                    continue
+                seen.add(v)
+                self._bump_activity(v)
+                if self._level[v] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            while (self._trail[trail_idx] >> 1) not in seen:
+                trail_idx -= 1
+            p = self._trail[trail_idx]
+            trail_idx -= 1
+            v = p >> 1
+            seen.discard(v)
+            counter -= 1
+            if counter == 0:
+                break
+            reason_lits = self._reason[v]
+            assert reason_lits is not None, "UIP literal must be implied"
+
+        learnt[0] = p ^ 1
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backtrack to the second-highest decision level in the clause and
+        # place that literal in the second watch position.
+        max_idx = 1
+        for i in range(2, len(learnt)):
+            if self._level[learnt[i] >> 1] > self._level[learnt[max_idx] >> 1]:
+                max_idx = i
+        learnt[1], learnt[max_idx] = learnt[max_idx], learnt[1]
+        return learnt, self._level[learnt[1] >> 1]
+
+    def _attach_learnt(self, learnt: List[int]) -> None:
+        self.stats.learned_clauses += 1
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        self._clauses.append(learnt)
+        self._watches[learnt[0]].append(learnt)
+        self._watches[learnt[1]].append(learnt)
+        self._enqueue(learnt[0], learnt)
+
+    def _backtrack_to(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for lit in reversed(self._trail[boundary:]):
+            v = lit >> 1
+            self._saved_phase[v] = self._assigns[v]
+            self._assigns[v] = _UNASSIGNED
+            self._reason[v] = None
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    # ------------------------------------------------------------------
+    # Internals: heuristics
+    # ------------------------------------------------------------------
+
+    def _pick_branch_literal(self) -> Optional[int]:
+        best_var = -1
+        best_activity = -1.0
+        for v in range(self.num_vars):
+            if self._assigns[v] == _UNASSIGNED \
+                    and self._activity[v] > best_activity:
+                best_var = v
+                best_activity = self._activity[v]
+        if best_var < 0:
+            return None
+        phase = self._saved_phase[best_var]
+        return 2 * best_var + (0 if phase == 1 else 1)
+
+    def _bump_activity(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > self.ACTIVITY_RESCALE:
+            scale = 1.0 / self.ACTIVITY_RESCALE
+            for u in range(self.num_vars):
+                self._activity[u] *= scale
+            self._var_inc *= scale
+
+    def _decay_activity(self) -> None:
+        self._var_inc /= self.ACTIVITY_DECAY

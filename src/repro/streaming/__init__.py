@@ -1,0 +1,44 @@
+"""Classic F0 (distinct elements) streaming sketches.
+
+Implements the paper's unified view of the three hashing-based F0
+algorithms (Section 3, Algorithms 1-4):
+
+* :class:`BucketingF0` -- Gibbons--Tirthapura level-sampling;
+* :class:`MinimumF0` -- Bar-Yossef et al.'s k-minimum-values;
+* :class:`EstimationF0` -- the trailing-zero sketch (needs a rough estimate
+  ``r``, supplied by :class:`FlajoletMartinF0`);
+* :class:`FlajoletMartinF0` -- the constant-factor rough estimator;
+* :class:`ExactF0` -- set-based ground truth.
+
+All sketches expose ``process(x)`` / ``estimate()`` plus ``merge`` (used by
+the distributed protocols of Section 4), and share :class:`SketchParams`
+which carries the paper's constants ``Thresh = 96/eps^2`` and
+``t = 35 log(1/delta)``.
+"""
+
+from repro.streaming.base import F0Estimator, SketchParams, compute_f0
+from repro.streaming.bucketing import BucketingF0, BucketingRow
+from repro.streaming.estimation import EstimationF0, EstimationRow
+from repro.streaming.exact import ExactF0
+from repro.streaming.flajolet_martin import FlajoletMartinF0
+from repro.streaming.minimum import MinimumF0, MinimumRow
+from repro.streaming.streams import (
+    shuffled_stream_with_f0,
+    zipf_like_stream,
+)
+
+__all__ = [
+    "BucketingF0",
+    "BucketingRow",
+    "EstimationF0",
+    "EstimationRow",
+    "ExactF0",
+    "F0Estimator",
+    "FlajoletMartinF0",
+    "MinimumF0",
+    "MinimumRow",
+    "SketchParams",
+    "compute_f0",
+    "shuffled_stream_with_f0",
+    "zipf_like_stream",
+]

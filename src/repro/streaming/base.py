@@ -1,0 +1,70 @@
+"""Shared sketch parameters and the ComputeF0 driver (Algorithm 1).
+
+The paper fixes ``Thresh = 96 / eps^2`` and ``t = 35 log(1/delta)`` -- the
+constants under which Lemmas 1-3 are proved.  Experiments that only need the
+*shape* of the guarantee (and would otherwise run 35x-slower for no insight)
+may scale the constants down; :class:`SketchParams` makes that knob explicit
+instead of burying magic numbers in call sites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.common.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """(eps, delta) plus the paper's constants.
+
+    ``thresh_constant`` and ``repetitions_constant`` default to the paper's
+    96 and 35; the natural logarithm is used for ``log(1/delta)``.
+    """
+
+    eps: float
+    delta: float
+    thresh_constant: float = 96.0
+    repetitions_constant: float = 35.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.eps:
+            raise InvalidParameterError("eps must be positive")
+        if not 0 < self.delta < 1:
+            raise InvalidParameterError("delta must lie in (0, 1)")
+        if self.thresh_constant <= 0 or self.repetitions_constant <= 0:
+            raise InvalidParameterError("constants must be positive")
+
+    @property
+    def thresh(self) -> int:
+        """The paper's ``Thresh = ceil(96 / eps^2)`` (at least 1)."""
+        return max(1, math.ceil(self.thresh_constant / (self.eps ** 2)))
+
+    @property
+    def repetitions(self) -> int:
+        """The paper's ``t = ceil(35 ln(1/delta))`` (at least 1)."""
+        return max(1, math.ceil(
+            self.repetitions_constant * math.log(1.0 / self.delta)))
+
+
+@runtime_checkable
+class F0Estimator(Protocol):
+    """The streaming interface shared by every sketch in this package."""
+
+    def process(self, x: int) -> None:
+        """Feed one stream item."""
+        ...
+
+    def estimate(self) -> float:
+        """Current F0 estimate (valid at any point in the stream)."""
+        ...
+
+
+def compute_f0(stream: Iterable[int], estimator: F0Estimator) -> float:
+    """The paper's Algorithm 1 driver: process the whole stream, then
+    return the estimate."""
+    for x in stream:
+        estimator.process(x)
+    return estimator.estimate()

@@ -1,0 +1,98 @@
+"""The Bucketing F0 sketch (Gibbons--Tirthapura level sampling).
+
+Each repetition keeps the distinct stream elements that land in the hash
+cell ``h_m(x) = 0^m``; when the bucket reaches ``Thresh`` elements the level
+``m`` is raised and the bucket re-filtered.  The estimate is
+``|bucket| * 2^m``, median over repetitions.
+
+Note on the overflow rule: the paper's streaming pseudo-code (Algorithm 3)
+increments on ``size > Thresh`` while its sketch relation P1 and ApproxMC
+(Algorithm 5) require the strict invariant ``size < Thresh``.  We use the P1
+rule (raise the level while ``size >= Thresh``) in both the streaming and
+counting implementations so that the two sides build *identical* sketches --
+the equivalence the paper's Section 1 argues conceptually, and which
+benchmark E19 checks bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.common.rng import RandomSource
+from repro.common.stats import median
+from repro.hashing.base import LinearHash
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.streaming.base import SketchParams
+
+
+class BucketingRow:
+    """One repetition: a hash function, a level, and a bucket of elements."""
+
+    __slots__ = ("h", "thresh", "level", "bucket")
+
+    def __init__(self, h: LinearHash, thresh: int) -> None:
+        self.h = h
+        self.thresh = thresh
+        self.level = 0
+        self.bucket: Set[int] = set()
+
+    def process(self, x: int) -> None:
+        """Insert ``x`` if it lies in the current cell; raise the level
+        while the bucket violates the ``< Thresh`` invariant."""
+        if self.h.cell_level(x) < self.level:
+            return
+        self.bucket.add(x)
+        self._shrink()
+
+    def _shrink(self) -> None:
+        while len(self.bucket) >= self.thresh \
+                and self.level < self.h.out_bits:
+            self.level += 1
+            self.bucket = {y for y in self.bucket
+                           if self.h.cell_level(y) >= self.level}
+
+    def merge(self, other: "BucketingRow") -> None:
+        """Combine with a sketch built from another sub-stream using the
+        same hash function (distributed Section 4)."""
+        if other.h is not self.h and other.h.rows != self.h.rows:
+            raise ValueError("cannot merge rows with different hashes")
+        self.level = max(self.level, other.level)
+        merged = {y for y in self.bucket | other.bucket
+                  if self.h.cell_level(y) >= self.level}
+        self.bucket = merged
+        self._shrink()
+
+    def estimate(self) -> float:
+        """``|bucket| * 2^level``."""
+        return len(self.bucket) * float(1 << self.level)
+
+    def sketch_state(self):
+        """``(sorted bucket, level)`` -- used by the sketch-equivalence
+        experiment (E19)."""
+        return (tuple(sorted(self.bucket)), self.level)
+
+
+class BucketingF0:
+    """Median over ``t`` independent :class:`BucketingRow` repetitions."""
+
+    def __init__(self, universe_bits: int, params: SketchParams,
+                 rng: RandomSource) -> None:
+        self.universe_bits = universe_bits
+        self.params = params
+        family = ToeplitzHashFamily(universe_bits, universe_bits)
+        self.rows: List[BucketingRow] = [
+            BucketingRow(family.sample(rng), params.thresh)
+            for _ in range(params.repetitions)
+        ]
+
+    def process(self, x: int) -> None:
+        for row in self.rows:
+            row.process(x)
+
+    def estimate(self) -> float:
+        return median([row.estimate() for row in self.rows])
+
+    def space_bits(self) -> int:
+        """Rough footprint: seed bits plus bucket contents, per row."""
+        return sum(row.h.seed_bits + len(row.bucket) * self.universe_bits
+                   for row in self.rows)

@@ -1,0 +1,116 @@
+"""The Estimation (trailing-zero) F0 sketch.
+
+Each repetition ``i`` holds ``Thresh`` independent s-wise hash functions;
+entry ``S[i][j]`` is the maximum ``TrailZero(h_ij(x))`` over the stream.
+Given a coarse estimate ``r`` with ``2 F0 <= 2^r <= 50 F0`` (from the
+FlajoletMartin sketch), the fraction of entries ``>= r`` estimates
+``1 - (1 - 2^-r)^F0``, which inverts to the Lemma 3 estimator
+
+    ln(1 - (1/Thresh) * sum_j 1{S[i][j] >= r}) / ln(1 - 2^-r).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.common.errors import InvalidParameterError
+from repro.common.rng import RandomSource
+from repro.common.stats import median
+from repro.hashing.kwise import KWiseHash, KWiseHashFamily
+from repro.streaming.base import SketchParams
+
+
+def independence_for_eps(eps: float) -> int:
+    """The paper's ``s = 10 log(1/eps)`` independence (at least 2)."""
+    return max(2, math.ceil(10 * math.log(1.0 / min(eps, 0.99))))
+
+
+class EstimationRow:
+    """One repetition: ``Thresh`` hash functions and their max trail-zeros."""
+
+    __slots__ = ("hashes", "maxima")
+
+    def __init__(self, hashes: List[KWiseHash]) -> None:
+        self.hashes = hashes
+        self.maxima: List[int] = [0] * len(hashes)
+
+    def process(self, x: int) -> None:
+        for j, h in enumerate(self.hashes):
+            t = h.trail_zeros(x)
+            if t > self.maxima[j]:
+                self.maxima[j] = t
+
+    def merge(self, other: "EstimationRow") -> None:
+        """Entry-wise max (the distributed Section 4 combine step)."""
+        if len(other.maxima) != len(self.maxima):
+            raise ValueError("cannot merge rows of different widths")
+        self.maxima = [max(a, b) for a, b in zip(self.maxima, other.maxima)]
+
+    def estimate(self, r: int) -> float:
+        """The Lemma 3 estimator for a given coarse level ``r``."""
+        m = len(self.maxima)
+        fraction = sum(1 for t in self.maxima if t >= r) / m
+        if fraction >= 1.0:
+            return float("inf")  # All cells saturated: r was far too low.
+        if fraction == 0.0:
+            return 0.0
+        return math.log(1.0 - fraction) / math.log(1.0 - 2.0 ** (-r))
+
+
+class EstimationF0:
+    """Median over ``t`` :class:`EstimationRow` repetitions.
+
+    ``estimate`` needs the coarse parameter ``r``; callers either pass it
+    explicitly (Theorem 4 style, "given r") or wire in a
+    :class:`repro.streaming.flajolet_martin.FlajoletMartinF0` run in
+    parallel, as the paper prescribes, via ``estimate_with_rough``.
+    """
+
+    def __init__(self, universe_bits: int, params: SketchParams,
+                 rng: RandomSource,
+                 independence: int | None = None) -> None:
+        self.universe_bits = universe_bits
+        self.params = params
+        if independence is None:
+            independence = independence_for_eps(params.eps)
+        family = KWiseHashFamily(universe_bits, independence)
+        self.rows: List[EstimationRow] = [
+            EstimationRow([family.sample(rng)
+                           for _ in range(params.thresh)])
+            for _ in range(params.repetitions)
+        ]
+
+    def process(self, x: int) -> None:
+        for row in self.rows:
+            row.process(x)
+
+    def estimate_given_r(self, r: int) -> float:
+        """Median of row estimates at coarse level ``r``."""
+        if not 0 <= r <= self.universe_bits:
+            raise InvalidParameterError("r out of range")
+        return median([row.estimate(r) for row in self.rows])
+
+    def estimate(self) -> float:
+        """Estimate without an externally supplied ``r``.
+
+        Uses the sketch's own entries to pick ``r`` near the paper's promise
+        window: the median max-trail-zero level is a Flajolet-Martin-style
+        coarse estimate of ``log2 F0``; we shift it up by 3 so that ``2^r``
+        lands in ``[2 F0, 50 F0]`` whenever the coarse level is within its
+        usual factor-5 band.
+        """
+        level_guesses = []
+        for row in self.rows:
+            level_guesses.append(median(sorted(row.maxima)))
+        coarse = median(level_guesses)
+        r = min(int(coarse) + 3, self.universe_bits)
+        return self.estimate_given_r(r)
+
+    def space_bits(self) -> int:
+        """Seed bits plus one counter per hash function."""
+        counter_bits = max(1, self.universe_bits.bit_length())
+        return sum(
+            sum(h.seed_bits for h in row.hashes)
+            + len(row.maxima) * counter_bits
+            for row in self.rows)

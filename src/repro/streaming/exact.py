@@ -1,0 +1,20 @@
+"""Exact F0 by keeping the distinct set -- the test-suite ground truth."""
+
+from __future__ import annotations
+
+
+class ExactF0:
+    """Set-based exact distinct counting (O(F0) space, no error)."""
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+
+    def process(self, x: int) -> None:
+        self._seen.add(x)
+
+    def estimate(self) -> float:
+        return float(len(self._seen))
+
+    def distinct(self) -> int:
+        """The exact count as an integer."""
+        return len(self._seen)

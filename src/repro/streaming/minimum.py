@@ -1,0 +1,113 @@
+"""The Minimum (k-minimum-values) F0 sketch.
+
+Each repetition hashes into ``3n`` bits (collision-free whp) and keeps the
+``Thresh`` lexicographically smallest *distinct* hash values.  When fewer
+than ``Thresh`` values have been seen the sketch holds every distinct value,
+so the count is exact; once full, the estimate is
+``Thresh * 2^m / max(sketch)`` (Lemma 2).
+
+The under-full case follows Bar-Yossef et al.'s original algorithm (output
+the exact count); the paper's condensed formula ``Thresh * 2^m / max`` is
+only meaningful for full sketches and degenerates below ``Thresh`` -- see
+EXPERIMENTS.md, deviations table.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Set
+
+from repro.common.rng import RandomSource
+from repro.common.stats import median
+from repro.hashing.base import LinearHash
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.streaming.base import SketchParams
+
+
+class MinimumRow:
+    """One repetition: the ``Thresh`` smallest distinct hash values.
+
+    Kept as a max-heap of negated values plus a membership set, giving
+    O(log Thresh) updates.
+    """
+
+    __slots__ = ("h", "thresh", "_neg_heap", "_members")
+
+    def __init__(self, h: LinearHash, thresh: int) -> None:
+        self.h = h
+        self.thresh = thresh
+        self._neg_heap: List[int] = []  # Negated values: root is the max.
+        self._members: Set[int] = set()
+
+    def process(self, x: int) -> None:
+        self.insert_value(self.h.value(x))
+
+    def insert_value(self, value: int) -> None:
+        """Insert an already-hashed value (used by the DNF-stream merge and
+        the distributed coordinator)."""
+        if value in self._members:
+            return
+        if len(self._neg_heap) < self.thresh:
+            heapq.heappush(self._neg_heap, -value)
+            self._members.add(value)
+            return
+        current_max = -self._neg_heap[0]
+        if value < current_max:
+            heapq.heapreplace(self._neg_heap, -value)
+            self._members.discard(current_max)
+            self._members.add(value)
+
+    def merge(self, other: "MinimumRow") -> None:
+        """Union the value sets, keep the ``Thresh`` smallest."""
+        for value in other.values():
+            self.insert_value(value)
+
+    def values(self) -> List[int]:
+        """The kept hash values in ascending order."""
+        return sorted(-v for v in self._neg_heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._neg_heap) >= self.thresh
+
+    def estimate(self) -> float:
+        """Exact count while under-full; ``Thresh * 2^m / max`` once full."""
+        if not self._neg_heap:
+            return 0.0
+        if not self.is_full:
+            return float(len(self._neg_heap))
+        largest = -self._neg_heap[0]
+        if largest == 0:
+            return float(len(self._neg_heap))
+        return self.thresh * float(1 << self.h.out_bits) / largest
+
+
+class MinimumF0:
+    """Median over ``t`` independent :class:`MinimumRow` repetitions.
+
+    Hash range is ``3n`` bits per the paper (Algorithm 2) so that distinct
+    elements receive distinct values with probability ``1 - 2^-n``.
+    """
+
+    def __init__(self, universe_bits: int, params: SketchParams,
+                 rng: RandomSource) -> None:
+        self.universe_bits = universe_bits
+        self.params = params
+        family = ToeplitzHashFamily(universe_bits, 3 * universe_bits)
+        self.rows: List[MinimumRow] = [
+            MinimumRow(family.sample(rng), params.thresh)
+            for _ in range(params.repetitions)
+        ]
+
+    def process(self, x: int) -> None:
+        for row in self.rows:
+            row.process(x)
+
+    def estimate(self) -> float:
+        return median([row.estimate() for row in self.rows])
+
+    def space_bits(self) -> int:
+        """Seed bits plus stored hash values, per row."""
+        return sum(row.h.seed_bits
+                   + len(row.values()) * row.h.out_bits
+                   for row in self.rows)

@@ -1,0 +1,79 @@
+"""Synthetic stream generators with known ground-truth F0."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import InvalidParameterError
+from repro.common.rng import RandomSource
+
+
+def shuffled_stream_with_f0(rng: RandomSource, universe_bits: int,
+                            f0: int, length: int) -> List[int]:
+    """A stream of ``length`` items over exactly ``f0`` distinct elements.
+
+    Elements are sampled without replacement from ``{0,1}^universe_bits``;
+    every element appears at least once, extra slots are uniform repeats,
+    and the whole stream is shuffled (so order-sensitivity bugs surface).
+    """
+    if f0 > (1 << universe_bits):
+        raise InvalidParameterError("f0 exceeds universe size")
+    if length < f0:
+        raise InvalidParameterError("length must be >= f0")
+    universe = 1 << universe_bits
+    if universe_bits <= 22:
+        elements = rng.sample(range(universe), f0)
+    else:
+        chosen = set()
+        while len(chosen) < f0:
+            chosen.add(rng.getrandbits(universe_bits))
+        elements = list(chosen)
+    stream = list(elements)
+    stream.extend(rng.choice(elements) for _ in range(length - f0))
+    rng.shuffle(stream)
+    return stream
+
+
+def zipf_like_stream(rng: RandomSource, universe_bits: int,
+                     num_elements: int, length: int,
+                     exponent: float = 1.2) -> List[int]:
+    """A skewed stream: element ranks follow a Zipf-like law.
+
+    Heavy hitters dominate, the tail is rare -- the regime where naive
+    sampling underestimates F0 but hashing sketches do not.  The realised
+    F0 is whatever subset of the ``num_elements`` support actually appears;
+    compute it with :class:`repro.streaming.exact.ExactF0`.
+    """
+    if num_elements > (1 << universe_bits):
+        raise InvalidParameterError("support exceeds universe size")
+    if exponent <= 0:
+        raise InvalidParameterError("exponent must be positive")
+    universe = 1 << universe_bits
+    if universe_bits <= 22:
+        support = rng.sample(range(universe), num_elements)
+    else:
+        chosen = set()
+        while len(chosen) < num_elements:
+            chosen.add(rng.getrandbits(universe_bits))
+        support = list(chosen)
+    weights = [1.0 / ((rank + 1) ** exponent)
+               for rank in range(num_elements)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def draw() -> int:
+        u = rng.random()
+        lo, hi = 0, num_elements - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return support[lo]
+
+    return [draw() for _ in range(length)]

@@ -1,0 +1,69 @@
+"""Structured set streams (Section 5): F0 over succinctly represented sets.
+
+Each stream item is a *set* over ``{0,1}^n`` given in a succinct form --
+a DNF formula, a d-dimensional range, a d-dimensional arithmetic
+progression, or an affine space -- and the goal is ``|union of items|``
+with per-item time polylogarithmic in the universe (polynomial in ``n``
+and the representation size).
+
+The unifying abstraction is :class:`StructuredSet`: anything that can
+present itself as a union of affine subspaces (DNF terms are subcubes,
+ranges compile to at most ``2n`` subcubes per dimension, progressions to
+subcube/parity intersections, affine spaces to themselves).  The two
+estimators -- :class:`StructuredF0Minimum` (Theorem 5's algorithm) and
+:class:`StructuredF0Bucketing` (the alternative the paper notes) -- work
+uniformly over the abstraction; the per-family theorems (6, 7, Corollary 1)
+are instances.
+
+:mod:`repro.structured.weighted` implements the weighted-#DNF-to-ranges
+reduction, and :mod:`repro.structured.cnf_ranges` Observation 2's O(nd)
+CNF compilation of ranges.
+"""
+
+from repro.structured.sets import AffineSet, DnfSet, SingletonSet, StructuredSet
+from repro.structured.dnf_stream import (
+    StructuredF0Bucketing,
+    StructuredF0Minimum,
+)
+from repro.structured.ranges import MultiRange, range_to_subcube_terms
+from repro.structured.progressions import MultiProgression
+from repro.structured.affine_stream import affine_find_min
+from repro.structured.cnf_ranges import (
+    StructuredF0MinimumCnf,
+    multirange_to_cnf,
+    range_to_cnf_clauses,
+)
+from repro.structured.weighted import (
+    weighted_dnf_count,
+    weighted_dnf_to_ranges,
+)
+from repro.structured.delphic import (
+    ApsEstimator,
+    DelphicAffine,
+    DelphicProgression,
+    DelphicRange,
+    DelphicSet,
+)
+
+__all__ = [
+    "AffineSet",
+    "ApsEstimator",
+    "DelphicAffine",
+    "DelphicProgression",
+    "DelphicRange",
+    "DelphicSet",
+    "DnfSet",
+    "MultiProgression",
+    "MultiRange",
+    "SingletonSet",
+    "StructuredF0Bucketing",
+    "StructuredF0Minimum",
+    "StructuredF0MinimumCnf",
+    "StructuredSet",
+    "affine_find_min",
+    "multirange_to_cnf",
+    "range_to_cnf_clauses",
+    "range_to_subcube_terms",
+    "weighted_dnf_count",
+    "weighted_dnf_to_ranges",
+]

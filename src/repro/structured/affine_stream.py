@@ -1,0 +1,30 @@
+"""Affine-space streams: AffineFindMin (Proposition 4) and Theorem 7.
+
+An affine stream item ``(A, b)`` represents ``{x : A x = b}``.
+AffineFindMin returns the ``t`` lexicographically smallest elements of
+``h(Sol(<A, b>))`` in ``O(n^4 t)`` time by exactly the mechanism the paper
+proves through prefix search on the stacked matrix ``D | A``: here the
+image subspace's MSB-first echelon form plays the role of the Gaussian
+eliminations, giving the same output.
+
+Theorem 7's streaming algorithm is :class:`StructuredF0Minimum` applied to
+:class:`repro.structured.sets.AffineSet` items; this module adds only the
+standalone subroutine (and its brute-force-checkable contract).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hashing.base import LinearHash
+from repro.structured.sets import AffineSet
+
+
+def affine_find_min(affine: AffineSet, h: LinearHash, t: int) -> List[int]:
+    """The ``min(t, |h(Sol)|)`` lexicographically smallest hashed values of
+    the affine set, ascending (Proposition 4)."""
+    pieces = list(affine.affine_pieces())
+    if not pieces:
+        return []
+    image = h.image_space(pieces[0])
+    return image.smallest_elements(t)

@@ -1,0 +1,116 @@
+"""Observation 2: d-dimensional ranges as O(nd)-size CNF, and the CNF-route
+F0 estimator.
+
+A single comparison ``x >= a`` over ``n`` bits is the clause set
+
+    for each i with a_i = 1:   (x_i  or  OR_{j > i, a_j = 0} x_j)
+
+(first differing bit wins), and ``x <= b`` dually; a d-dimensional range is
+the conjunction across per-dimension variable blocks -- ``O(nd)`` clauses
+of width ``O(n)``.
+
+Because the DNF compilation can blow up to ``n^d`` terms (Observation 1)
+while this CNF stays linear, the paper asks whether a streaming algorithm
+can work from the CNF side; :class:`StructuredF0MinimumCnf` realises the
+paper's conditional answer -- FindMin over CNF items via the NP oracle
+(Proposition 2), polynomial per item *given* the oracle, with the call
+count metered.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import InvalidParameterError
+from repro.common.rng import RandomSource
+from repro.common.stats import median
+from repro.core.find_min import find_min_cnf
+from repro.core.min_count import estimate_from_min_sketch
+from repro.formulas.cnf import CnfFormula
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.sat.oracle import NpOracle
+from repro.streaming.base import SketchParams
+from repro.streaming.minimum import MinimumRow
+from repro.structured.ranges import MultiRange
+
+
+def _geq_clauses(a: int, num_bits: int, var_offset: int) -> List[List[int]]:
+    """Clauses asserting ``x >= a`` over ``num_bits`` variables."""
+    clauses = []
+    for i in range(num_bits):
+        if not (a >> i) & 1:
+            continue
+        clause = [var_offset + i + 1]
+        clause.extend(var_offset + j + 1 for j in range(i + 1, num_bits)
+                      if not (a >> j) & 1)
+        clauses.append(clause)
+    return clauses
+
+
+def _leq_clauses(b: int, num_bits: int, var_offset: int) -> List[List[int]]:
+    """Clauses asserting ``x <= b``."""
+    clauses = []
+    for i in range(num_bits):
+        if (b >> i) & 1:
+            continue
+        clause = [-(var_offset + i + 1)]
+        clause.extend(-(var_offset + j + 1) for j in range(i + 1, num_bits)
+                      if (b >> j) & 1)
+        clauses.append(clause)
+    return clauses
+
+
+def range_to_cnf_clauses(lo: int, hi: int, num_bits: int,
+                         var_offset: int = 0) -> List[List[int]]:
+    """``[lo, hi]`` as at most ``2 * num_bits`` clauses (Observation 2)."""
+    if lo > hi:
+        raise InvalidParameterError("empty range")
+    if lo < 0 or hi >= (1 << num_bits):
+        raise InvalidParameterError("range endpoints out of universe")
+    return (_geq_clauses(lo, num_bits, var_offset)
+            + _leq_clauses(hi, num_bits, var_offset))
+
+
+def multirange_to_cnf(mrange: MultiRange) -> CnfFormula:
+    """The d-dimensional conjunction: ``O(n d)`` clauses total."""
+    clauses: List[List[int]] = []
+    for dim, (lo, hi) in enumerate(mrange.intervals):
+        clauses.extend(range_to_cnf_clauses(
+            lo, hi, mrange.bits_per_dim, dim * mrange.bits_per_dim))
+    return CnfFormula(mrange.num_vars, clauses)
+
+
+class StructuredF0MinimumCnf:
+    """Minimum-sketch F0 over a stream of CNF items through the NP oracle.
+
+    Per item and repetition, FindMin/CNF costs ``O(Thresh * n)`` oracle
+    calls; ``oracle_calls`` accumulates the total, which benchmark E13
+    reports next to the DNF route's pure-polynomial cost.
+    """
+
+    def __init__(self, num_vars: int, params: SketchParams,
+                 rng: RandomSource) -> None:
+        self.num_vars = num_vars
+        self.params = params
+        self.oracle_calls = 0
+        family = ToeplitzHashFamily(num_vars, 3 * num_vars)
+        self.rows: List[MinimumRow] = [
+            MinimumRow(family.sample(rng), params.thresh)
+            for _ in range(params.repetitions)
+        ]
+
+    def process_cnf(self, formula: CnfFormula) -> None:
+        if formula.num_vars != self.num_vars:
+            raise InvalidParameterError("variable count mismatch")
+        for row in self.rows:
+            oracle = NpOracle(formula)
+            for value in find_min_cnf(oracle, row.h, self.params.thresh):
+                row.insert_value(value)
+            self.oracle_calls += oracle.calls
+
+    def estimate(self) -> float:
+        return median([
+            estimate_from_min_sketch(row.values(), self.params.thresh,
+                                     row.h.out_bits)
+            for row in self.rows
+        ])

@@ -1,0 +1,98 @@
+"""Multidimensional arithmetic progressions with power-of-two steps
+(Corollary 1).
+
+``[a, b, 2^l]`` is the set ``{a, a + 2^l, a + 2*2^l, ...} within [a, b]`` --
+equivalently the range ``[a, b]`` intersected with "low ``l`` bits equal
+``a``'s".  The low-bit constraint is affine, so each of the range's
+aligned subcubes intersects it in an affine subspace; the piece count stays
+``O(n)`` per dimension and the d-dimensional product works exactly as for
+ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.common.errors import InvalidParameterError
+from repro.gf2.affine import AffineSubspace
+from repro.structured.ranges import aligned_subcubes
+
+
+class MultiProgression:
+    """``[a_i, b_i, 2^{l_i}]`` per dimension, packed like MultiRange."""
+
+    def __init__(self, progressions: Sequence[Tuple[int, int, int]],
+                 bits_per_dim: int) -> None:
+        """``progressions[i] = (a, b, l)`` meaning step ``2^l`` in
+        ``[a, b]``."""
+        if not progressions:
+            raise InvalidParameterError("need at least one dimension")
+        for a, b, l in progressions:
+            if a > b:
+                raise InvalidParameterError(f"empty progression [{a}, {b}]")
+            if a < 0 or b >= (1 << bits_per_dim):
+                raise InvalidParameterError("endpoints out of universe")
+            if l < 0 or l > bits_per_dim:
+                raise InvalidParameterError("step exponent out of range")
+        self.progressions = [(int(a), int(b), int(l))
+                             for a, b, l in progressions]
+        self.bits_per_dim = bits_per_dim
+        self.dims = len(progressions)
+        self.num_vars = bits_per_dim * self.dims
+
+    # ------------------------------------------------------------------
+    # Set semantics
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        """Exact cardinality: per dimension ``floor((b - a)/2^l) + 1``."""
+        out = 1
+        for a, b, l in self.progressions:
+            out *= ((b - a) >> l) + 1
+        return out
+
+    def contains(self, x: int) -> bool:
+        mask = (1 << self.bits_per_dim) - 1
+        for a, b, l in self.progressions:
+            coord = x & mask
+            step = 1 << l
+            if not (a <= coord <= b and (coord - a) % step == 0):
+                return False
+            x >>= self.bits_per_dim
+        return True
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def _dim_pieces(self, a: int, b: int, l: int) -> List[AffineSubspace]:
+        """Aligned subcubes of ``[a, b]`` intersected with the low-bit
+        congruence ``x = a (mod 2^l)``."""
+        low_rows = [1 << j for j in range(l)]
+        low_rhs = [(a >> j) & 1 for j in range(l)]
+        pieces = []
+        for base, free in aligned_subcubes(a, b):
+            cube = AffineSubspace(self.bits_per_dim, base,
+                                  [1 << j for j in range(free)])
+            piece = cube.intersect(low_rows, low_rhs)
+            if piece is not None:
+                pieces.append(piece)
+        return pieces
+
+    def affine_pieces(self) -> Iterator[AffineSubspace]:
+        per_dim = [self._dim_pieces(a, b, l)
+                   for a, b, l in self.progressions]
+
+        def rec(dim: int, chosen: List[AffineSubspace]
+                ) -> Iterator[AffineSubspace]:
+            if dim == self.dims:
+                yield AffineSubspace.product(chosen)
+                return
+            for piece in per_dim[dim]:
+                yield from rec(dim + 1, chosen + [piece])
+
+        yield from rec(0, [])
+
+    def __repr__(self) -> str:
+        return (f"MultiProgression({self.progressions}, "
+                f"bits_per_dim={self.bits_per_dim})")

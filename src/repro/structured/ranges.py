@@ -1,0 +1,175 @@
+"""Multidimensional ranges and their DNF/subcube compilation (Lemma 4).
+
+A 1-dimensional range ``[lo, hi]`` decomposes into at most ``2n`` disjoint
+*aligned subcubes* (the segment-tree cover): repeatedly peel the largest
+power-of-two block aligned at the current left end.  Each subcube fixes the
+high bits and frees the low bits -- i.e. it is a DNF term.  A d-dimensional
+range is the product, with dimension ``i`` occupying variables
+``i*n + 1 .. (i+1)*n`` (dimension 0 in the lowest bits); its DNF has at
+most ``(2n)^d`` terms, materialised lazily.
+
+Observation 1's hard instance ``[1, 2^n - 1]^d`` compiles to exactly
+``n^d`` terms here, matching the paper's lower bound on DNF size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.common.errors import InvalidParameterError
+from repro.formulas.dnf import DnfFormula, DnfTerm
+from repro.gf2.affine import AffineSubspace
+
+
+def aligned_subcubes(lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(base, free_bits)`` blocks partitioning ``[lo, hi]``.
+
+    Each block is ``{base, ..., base + 2**free_bits - 1}`` with ``base``
+    aligned to ``2**free_bits``; at most ``2 * ceil(log2(hi+2))`` blocks.
+    """
+    if lo > hi:
+        return
+    cursor = lo
+    while cursor <= hi:
+        remaining = hi - cursor + 1
+        size = 1 << (remaining.bit_length() - 1)  # Largest pow2 that fits.
+        if cursor:
+            size = min(size, cursor & -cursor)    # Respect alignment.
+        yield cursor, size.bit_length() - 1
+        cursor += size
+
+
+def subcube_to_term(base: int, free_bits: int, num_bits: int,
+                    var_offset: int = 0) -> DnfTerm:
+    """The DNF term fixing bits ``free_bits..num_bits-1`` to ``base``'s."""
+    lits = []
+    for bit in range(free_bits, num_bits):
+        var = var_offset + bit + 1
+        lits.append(var if (base >> bit) & 1 else -var)
+    return DnfTerm(lits)
+
+
+def range_to_subcube_terms(lo: int, hi: int, num_bits: int,
+                           var_offset: int = 0) -> List[DnfTerm]:
+    """Lemma 4's 1-dimensional compilation: ``[lo, hi]`` as <= 2n disjoint
+    terms over ``num_bits`` variables."""
+    if lo > hi:
+        raise InvalidParameterError("empty range")
+    if lo < 0 or hi >= (1 << num_bits):
+        raise InvalidParameterError("range endpoints out of universe")
+    return [subcube_to_term(base, free, num_bits, var_offset)
+            for base, free in aligned_subcubes(lo, hi)]
+
+
+class MultiRange:
+    """A d-dimensional range ``[lo_1, hi_1] x ... x [lo_d, hi_d]`` over
+    ``({0,1}^bits_per_dim)^d``, presented as a structured set."""
+
+    def __init__(self, intervals: Sequence[Tuple[int, int]],
+                 bits_per_dim: int) -> None:
+        if not intervals:
+            raise InvalidParameterError("need at least one dimension")
+        for lo, hi in intervals:
+            if lo > hi:
+                raise InvalidParameterError(f"empty interval [{lo}, {hi}]")
+            if lo < 0 or hi >= (1 << bits_per_dim):
+                raise InvalidParameterError(
+                    f"interval [{lo}, {hi}] outside {bits_per_dim}-bit "
+                    "universe")
+        self.intervals = [(int(lo), int(hi)) for lo, hi in intervals]
+        self.bits_per_dim = bits_per_dim
+        self.dims = len(intervals)
+        self.num_vars = bits_per_dim * self.dims
+
+    # ------------------------------------------------------------------
+    # Set semantics
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        """Exact cardinality ``prod (hi - lo + 1)``."""
+        out = 1
+        for lo, hi in self.intervals:
+            out *= hi - lo + 1
+        return out
+
+    def contains(self, x: int) -> bool:
+        """Membership of a packed point (dimension 0 in the low bits)."""
+        mask = (1 << self.bits_per_dim) - 1
+        for lo, hi in self.intervals:
+            coord = x & mask
+            if not lo <= coord <= hi:
+                return False
+            x >>= self.bits_per_dim
+        return True
+
+    def pack(self, point: Sequence[int]) -> int:
+        """Pack per-dimension coordinates into one element."""
+        if len(point) != self.dims:
+            raise InvalidParameterError("wrong dimensionality")
+        out = 0
+        for i, c in enumerate(point):
+            out |= c << (i * self.bits_per_dim)
+        return out
+
+    # ------------------------------------------------------------------
+    # Compilation (Lemma 4)
+    # ------------------------------------------------------------------
+
+    def term_count(self) -> int:
+        """Number of DNF terms the compilation produces."""
+        out = 1
+        for lo, hi in self.intervals:
+            out *= len(list(aligned_subcubes(lo, hi)))
+        return out
+
+    def iter_terms(self) -> Iterator[DnfTerm]:
+        """Lazily yield the product DNF's terms (never materialises the
+        ``(2n)^d`` list)."""
+        per_dim = [
+            [(base, free) for base, free in aligned_subcubes(lo, hi)]
+            for lo, hi in self.intervals
+        ]
+
+        def rec(dim: int, lits: List[int]) -> Iterator[DnfTerm]:
+            if dim == self.dims:
+                yield DnfTerm(lits)
+                return
+            offset = dim * self.bits_per_dim
+            for base, free in per_dim[dim]:
+                term = subcube_to_term(base, free, self.bits_per_dim,
+                                       offset)
+                yield from rec(dim + 1, lits + list(term.literals))
+
+        yield from rec(0, [])
+
+    def to_dnf(self) -> DnfFormula:
+        """Materialise the full product DNF (use ``iter_terms`` for large
+        ``d``)."""
+        return DnfFormula(self.num_vars, list(self.iter_terms()))
+
+    def affine_pieces(self) -> Iterator[AffineSubspace]:
+        """Product subcubes as affine subspaces, built dimension-wise so a
+        piece costs O(n d) rather than going through term literals."""
+        per_dim = [
+            [(base, free) for base, free in aligned_subcubes(lo, hi)]
+            for lo, hi in self.intervals
+        ]
+
+        def cube_space(base: int, free: int) -> AffineSubspace:
+            origin = base
+            basis = [1 << j for j in range(free)]
+            return AffineSubspace(self.bits_per_dim, origin, basis)
+
+        def rec(dim: int, chosen: List[AffineSubspace]
+                ) -> Iterator[AffineSubspace]:
+            if dim == self.dims:
+                yield AffineSubspace.product(chosen)
+                return
+            for base, free in per_dim[dim]:
+                yield from rec(dim + 1, chosen + [cube_space(base, free)])
+
+        yield from rec(0, [])
+
+    def __repr__(self) -> str:
+        return (f"MultiRange({self.intervals}, "
+                f"bits_per_dim={self.bits_per_dim})")

@@ -1,0 +1,111 @@
+"""The StructuredSet abstraction and its basic implementations.
+
+A structured set presents itself as a finite union of affine subspaces of
+``{0,1}^num_vars`` (its *pieces*).  That single interface is what both
+estimators need:
+
+* Minimum sketch: the ``t`` smallest hash values of a piece come from
+  ``h.image_space(piece).smallest_elements(t)``;
+* Bucketing sketch: the piece's intersection with a hash cell is
+  ``piece.intersect(h.prefix_constraints(m))``.
+
+DNF terms are subcubes (special affine subspaces), so DNF sets are the
+canonical instance; :class:`AffineSet` covers Section 5's affine-space
+streams; ranges and progressions live in their own modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Protocol, runtime_checkable
+
+from repro.common.errors import InvalidParameterError
+from repro.formulas.dnf import DnfFormula
+from repro.gf2.affine import AffineSubspace
+
+
+@runtime_checkable
+class StructuredSet(Protocol):
+    """Anything presentable as a union of affine subspaces."""
+
+    num_vars: int
+
+    def affine_pieces(self) -> Iterator[AffineSubspace]:
+        """Yield affine subspaces whose union is the set (pieces may
+        overlap; estimators deduplicate through hashing)."""
+        ...
+
+    def contains(self, x: int) -> bool:
+        """Membership test (ground truth for the test suite)."""
+        ...
+
+
+class DnfSet:
+    """A DNF formula viewed as the set of its solutions (Theorem 5)."""
+
+    def __init__(self, formula: DnfFormula) -> None:
+        self.formula = formula
+        self.num_vars = formula.num_vars
+
+    def affine_pieces(self) -> Iterator[AffineSubspace]:
+        for term in self.formula.terms:
+            space = term.solution_space(self.num_vars)
+            if space is not None:
+                yield space
+
+    def contains(self, x: int) -> bool:
+        return self.formula.evaluate(x)
+
+    def __repr__(self) -> str:
+        return f"DnfSet({self.formula!r})"
+
+
+class SingletonSet:
+    """One element -- how a classic stream item enters the structured
+    model (the paper's single-term-DNF embedding)."""
+
+    def __init__(self, num_vars: int, element: int) -> None:
+        if element >> num_vars:
+            raise InvalidParameterError("element does not fit in num_vars")
+        self.num_vars = num_vars
+        self.element = element
+
+    def affine_pieces(self) -> Iterator[AffineSubspace]:
+        yield AffineSubspace.single_point(self.num_vars, self.element)
+
+    def contains(self, x: int) -> bool:
+        return x == self.element
+
+    def __repr__(self) -> str:
+        return f"SingletonSet({self.element:#x})"
+
+
+class AffineSet:
+    """The solution set of ``A x = b`` (Section 5, Proposition 4)."""
+
+    def __init__(self, rows: List[int], rhs: List[int],
+                 num_vars: int) -> None:
+        if len(rows) != len(rhs):
+            raise InvalidParameterError("rows and rhs lengths differ")
+        self.num_vars = num_vars
+        self.rows = list(rows)
+        self.rhs = [b & 1 for b in rhs]
+        self._space = AffineSubspace.solve(self.rows, self.rhs, num_vars)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._space is None
+
+    def affine_pieces(self) -> Iterator[AffineSubspace]:
+        if self._space is not None:
+            yield self._space
+
+    def contains(self, x: int) -> bool:
+        return self._space is not None and self._space.contains(x)
+
+    def size(self) -> int:
+        """Exact cardinality (affine sets know their own size)."""
+        return 0 if self._space is None else self._space.size()
+
+    def __repr__(self) -> str:
+        return (f"AffineSet(num_vars={self.num_vars}, "
+                f"constraints={len(self.rows)})")

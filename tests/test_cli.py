@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.formulas.dimacs import write_dimacs_cnf, write_dimacs_dnf
+from repro.formulas.generators import fixed_count_dnf, random_dnf, random_k_cnf
+from repro.formulas.cnf import CnfFormula
+
+
+@pytest.fixture
+def dnf_file(tmp_path):
+    formula = fixed_count_dnf(10, 6)  # Exactly 64 models.
+    path = tmp_path / "formula.dnf"
+    path.write_text(write_dimacs_dnf(formula))
+    return str(path)
+
+
+@pytest.fixture
+def cnf_file(tmp_path):
+    formula = CnfFormula(8, [[1], [2, 3]])
+    path = tmp_path / "formula.cnf"
+    path.write_text(write_dimacs_cnf(formula))
+    return str(path)
+
+
+class TestCountCommand:
+    def test_exact(self, dnf_file, capsys):
+        assert main(["count", dnf_file, "--algorithm", "exact"]) == 0
+        assert capsys.readouterr().out.strip() == "64"
+
+    @pytest.mark.parametrize("algorithm",
+                             ["bucketing", "minimum", "karp-luby"])
+    def test_approximate_algorithms(self, dnf_file, capsys, algorithm):
+        code = main(["count", dnf_file, "--algorithm", algorithm,
+                     "--eps", "0.5", "--thresh-constant", "24",
+                     "--repetitions-constant", "5"])
+        assert code == 0
+        estimate = float(capsys.readouterr().out.strip())
+        assert 64 / 1.5 <= estimate <= 64 * 1.5
+
+    def test_cnf_counting(self, cnf_file, capsys):
+        code = main(["count", cnf_file, "--algorithm", "bucketing",
+                     "--thresh-constant", "24",
+                     "--repetitions-constant", "4"])
+        assert code == 0
+        estimate = float(capsys.readouterr().out.strip())
+        # Exact count: 1 * 3 * 2^5 / ... x1 pinned, (2 or 3): 3 of 4 -> 96.
+        assert 40 <= estimate <= 200
+
+    def test_karp_luby_rejects_cnf(self, cnf_file):
+        with pytest.raises(SystemExit):
+            main(["count", cnf_file, "--algorithm", "karp-luby"])
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "bad.cnf"
+        path.write_text("c just a comment\n")
+        with pytest.raises(SystemExit):
+            main(["count", str(path)])
+
+
+class TestSampleCommand:
+    def test_samples_are_models(self, dnf_file, capsys, tmp_path):
+        assert main(["sample", dnf_file, "--count", "5"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+        formula = fixed_count_dnf(10, 6)
+        for line in out:
+            lits = [int(t) for t in line.split()][:-1]
+            model = 0
+            for lit in lits:
+                if lit > 0:
+                    model |= 1 << (lit - 1)
+            assert formula.evaluate(model)
+
+
+class TestF0Command:
+    def test_f0_estimate(self, tmp_path, capsys):
+        rng = random.Random(0)
+        items = [rng.getrandbits(12) for _ in range(400)]
+        truth = len(set(items))
+        path = tmp_path / "items.txt"
+        path.write_text("\n".join(str(x) for x in items))
+        code = main(["f0", str(path), "--universe-bits", "12",
+                     "--sketch", "minimum", "--eps", "0.5",
+                     "--thresh-constant", "24",
+                     "--repetitions-constant", "5"])
+        assert code == 0
+        estimate = float(capsys.readouterr().out.strip())
+        assert truth / 1.5 <= estimate <= truth * 1.5
+
+    def test_requires_universe_bits(self, tmp_path):
+        path = tmp_path / "items.txt"
+        path.write_text("1\n2\n")
+        with pytest.raises(SystemExit):
+            main(["f0", str(path)])

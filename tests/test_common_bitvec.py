@@ -1,0 +1,93 @@
+"""Unit and property tests for repro.common.bitvec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitvec import (
+    bit,
+    bits_of,
+    from_bits,
+    leading_zeros,
+    parity,
+    popcount,
+    reverse_bits,
+    trailing_zeros,
+)
+
+
+class TestPopcountParity:
+    def test_popcount_zero(self):
+        assert popcount(0) == 0
+
+    def test_popcount_known(self):
+        assert popcount(0b1011) == 3
+
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_popcount_matches_bin(self, x):
+        assert popcount(x) == bin(x).count("1")
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_parity_is_popcount_mod_2(self, x):
+        assert parity(x) == popcount(x) % 2
+
+    @given(st.integers(min_value=0, max_value=2**64),
+           st.integers(min_value=0, max_value=2**64))
+    def test_parity_additive_under_xor(self, x, y):
+        assert parity(x ^ y) == parity(x) ^ parity(y)
+
+
+class TestBitsRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**40 - 1))
+    def test_bits_of_from_bits_roundtrip(self, x):
+        assert from_bits(bits_of(x, 40)) == x
+
+    def test_bit_positions(self):
+        x = 0b1010
+        assert bit(x, 0) == 0
+        assert bit(x, 1) == 1
+        assert bit(x, 2) == 0
+        assert bit(x, 3) == 1
+
+
+class TestTrailingLeadingZeros:
+    def test_trailing_zeros_of_zero_is_width(self):
+        assert trailing_zeros(0, 16) == 16
+
+    def test_trailing_zeros_known(self):
+        assert trailing_zeros(0b1000, 8) == 3
+        assert trailing_zeros(0b1, 8) == 0
+
+    @given(st.integers(min_value=1, max_value=2**32 - 1))
+    def test_trailing_zeros_definition(self, x):
+        t = trailing_zeros(x, 32)
+        assert x % (1 << t) == 0
+        assert (x >> t) & 1 == 1
+
+    def test_leading_zeros_of_zero_is_width(self):
+        assert leading_zeros(0, 12) == 12
+
+    def test_leading_zeros_known(self):
+        assert leading_zeros(0b0001, 4) == 3
+        assert leading_zeros(0b1000, 4) == 0
+
+    def test_leading_zeros_rejects_overwide(self):
+        with pytest.raises(ValueError):
+            leading_zeros(16, 4)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_leading_plus_bitlength_is_width(self, x):
+        assert leading_zeros(x, 20) + x.bit_length() == 20
+
+
+class TestReverseBits:
+    @given(st.integers(min_value=0, max_value=2**24 - 1))
+    def test_reverse_is_involution(self, x):
+        assert reverse_bits(reverse_bits(x, 24), 24) == x
+
+    def test_reverse_known(self):
+        assert reverse_bits(0b0011, 4) == 0b1100
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_reverse_swaps_leading_trailing(self, x):
+        assert trailing_zeros(reverse_bits(x, 16), 16) == leading_zeros(x, 16)

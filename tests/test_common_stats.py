@@ -1,0 +1,92 @@
+"""Tests for estimate aggregation and guarantee predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    median,
+    median_of_estimates,
+    relative_error,
+    within_factor,
+    within_relative_tolerance,
+)
+
+
+class TestMedian:
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_median_singleton(self):
+        assert median([7.0]) == 7.0
+
+    def test_lower_median_of_even_length(self):
+        assert median([1, 2, 3, 4]) == 2
+
+    def test_median_odd_length(self):
+        assert median([5, 1, 3]) == 3
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1))
+    def test_median_is_an_element(self, values):
+        assert median(values) in values
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1))
+    def test_median_splits_sequence(self, values):
+        m = median(values)
+        n = len(values)
+        assert sum(1 for v in values if v <= m) >= (n + 1) // 2
+        assert sum(1 for v in values if v >= m) >= n // 2
+
+    def test_median_of_estimates_alias(self):
+        assert median_of_estimates([2.0, 8.0, 4.0]) == 4.0
+
+
+class TestRelativeError:
+    def test_exact_is_zero(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_zero_truth_zero_estimate(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_truth_nonzero_estimate(self):
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_known_value(self):
+        assert relative_error(12.0, 10.0) == pytest.approx(0.2)
+
+
+class TestGuaranteePredicates:
+    def test_pac_bounds_inclusive(self):
+        assert within_relative_tolerance(100 / 1.5, 100, 0.5)
+        assert within_relative_tolerance(150, 100, 0.5)
+        assert not within_relative_tolerance(151, 100, 0.5)
+        assert not within_relative_tolerance(100 / 1.52, 100, 0.5)
+
+    def test_pac_zero_truth(self):
+        assert within_relative_tolerance(0, 0, 0.5)
+        assert not within_relative_tolerance(1, 0, 0.5)
+
+    def test_pac_rejects_negative_eps(self):
+        with pytest.raises(ValueError):
+            within_relative_tolerance(1, 1, -0.1)
+
+    @given(st.floats(min_value=1.0, max_value=1e6),
+           st.floats(min_value=0.01, max_value=2.0))
+    def test_pac_accepts_truth_itself(self, truth, eps):
+        assert within_relative_tolerance(truth, truth, eps)
+
+    def test_factor_bounds(self):
+        assert within_factor(20, 100, 5)
+        assert within_factor(500, 100, 5)
+        assert not within_factor(501, 100, 5)
+        assert not within_factor(19.9, 100, 5)
+
+    def test_factor_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            within_factor(1, 1, 0.5)
+
+    @given(st.floats(min_value=1.0, max_value=1e6))
+    def test_factor_one_means_exact(self, truth):
+        assert within_factor(truth, truth, 1.0)
+        assert not within_factor(truth * 1.01, truth, 1.0)

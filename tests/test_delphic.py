@@ -1,0 +1,153 @@
+"""Tests for Delphic sets and the APS-Estimator (Remark 2 extension)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidParameterError
+from repro.common.stats import within_relative_tolerance
+from repro.structured.delphic import (
+    ApsEstimator,
+    DelphicAffine,
+    DelphicProgression,
+    DelphicRange,
+)
+from repro.structured.progressions import MultiProgression
+from repro.structured.ranges import MultiRange
+from repro.structured.sets import AffineSet
+
+
+def explicit_members(structured):
+    out = set()
+    for piece in structured.affine_pieces():
+        out.update(piece)
+    return out
+
+
+class TestDelphicAdapters:
+    @given(st.integers(1, 4), st.integers(1, 3), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_range_adapter_queries(self, bits, dims, data):
+        intervals = []
+        for _ in range(dims):
+            hi = data.draw(st.integers(0, (1 << bits) - 1))
+            lo = data.draw(st.integers(0, hi))
+            intervals.append((lo, hi))
+        mr = MultiRange(intervals, bits)
+        d = DelphicRange(mr)
+        members = explicit_members(mr)
+        assert d.size() == len(members)
+        rng = random.Random(0)
+        for _ in range(20):
+            assert d.sample(rng) in members
+        for x in range(1 << mr.num_vars):
+            assert d.contains(x) == (x in members)
+
+    def test_range_sampling_uniformity(self):
+        mr = MultiRange([(2, 5)], 3)  # Four members.
+        d = DelphicRange(mr)
+        rng = random.Random(1)
+        counts = {x: 0 for x in range(2, 6)}
+        for _ in range(4000):
+            counts[d.sample(rng)] += 1
+        for c in counts.values():
+            assert 800 <= c <= 1200  # Expect 1000 each.
+
+    def test_progression_adapter(self):
+        mp = MultiProgression([(1, 13, 2)], 4)  # {1, 5, 9, 13}.
+        d = DelphicProgression(mp)
+        assert d.size() == 4
+        rng = random.Random(2)
+        seen = {d.sample(rng) for _ in range(200)}
+        assert seen == {1, 5, 9, 13}
+
+    def test_affine_adapter(self):
+        rng = random.Random(3)
+        aset = AffineSet([0b1100, 0b0011], [0, 1], 4)
+        d = DelphicAffine(aset)
+        members = explicit_members(aset)
+        assert d.size() == len(members)
+        seen = {d.sample(rng) for _ in range(200)}
+        assert seen == members
+
+    def test_empty_affine_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DelphicAffine(AffineSet([0], [1], 3))
+
+
+class TestApsEstimator:
+    def test_parameter_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(InvalidParameterError):
+            ApsEstimator(0, 0.1, 10, rng)
+        with pytest.raises(InvalidParameterError):
+            ApsEstimator(0.5, 1.0, 10, rng)
+        with pytest.raises(InvalidParameterError):
+            ApsEstimator(0.5, 0.1, 0, rng)
+
+    def test_small_stream_exact(self):
+        # While the buffer never overflows, p stays 1 and the estimate is
+        # the exact union size.
+        rng = random.Random(4)
+        stream = [DelphicRange(MultiRange([(0, 5)], 4)),
+                  DelphicRange(MultiRange([(3, 9)], 4))]
+        est = ApsEstimator(0.5, 0.2, stream_bound=10, rng=rng)
+        est.process_stream(stream)
+        assert est.sample_rate == 1.0
+        assert est.estimate() == 10.0
+
+    def test_accuracy_on_range_streams(self):
+        ok = 0
+        trials = 6
+        for seed in range(trials):
+            rng = random.Random(500 + seed)
+            stream = []
+            union = set()
+            for _ in range(15):
+                intervals = []
+                for _ in range(2):
+                    hi = rng.randint(0, 255)
+                    lo = rng.randint(0, hi)
+                    intervals.append((lo, hi))
+                mr = MultiRange(intervals, 8)
+                stream.append(DelphicRange(mr))
+                union |= explicit_members(mr)
+            est = ApsEstimator(0.4, 0.2, stream_bound=len(stream), rng=rng)
+            est.process_stream(stream)
+            if within_relative_tolerance(est.estimate(), len(union), 0.4):
+                ok += 1
+        assert ok >= trials - 1
+
+    def test_buffer_respects_capacity(self):
+        rng = random.Random(6)
+        est = ApsEstimator(0.8, 0.3, stream_bound=50, rng=rng,
+                           capacity_constant=4.0)
+        for _ in range(20):
+            hi = rng.randint(100, 4000)
+            est.process_set(DelphicRange(MultiRange([(0, hi)], 12)))
+            assert len(est.buffer) <= est.capacity
+
+    def test_duplicate_sets_do_not_inflate(self):
+        rng = random.Random(7)
+        item = DelphicRange(MultiRange([(10, 200)], 9))
+        est = ApsEstimator(0.4, 0.2, stream_bound=30, rng=rng)
+        for _ in range(30):
+            est.process_set(item)
+        assert within_relative_tolerance(est.estimate(), 191, 0.4)
+
+    def test_mixed_delphic_stream(self):
+        rng = random.Random(8)
+        stream = [
+            DelphicRange(MultiRange([(0, 100)], 8)),
+            DelphicProgression(MultiProgression([(1, 255, 1)], 8)),
+            DelphicAffine(AffineSet([0b11], [1], 8)),
+        ]
+        union = set()
+        union |= explicit_members(stream[0].mrange)
+        union |= explicit_members(stream[1].mprog)
+        union |= explicit_members(stream[2].aset)
+        est = ApsEstimator(0.4, 0.2, stream_bound=3, rng=rng)
+        est.process_stream(stream)
+        assert within_relative_tolerance(est.estimate(), len(union), 0.4)

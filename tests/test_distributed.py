@@ -1,0 +1,214 @@
+"""Tests for distributed DNF counting: accuracy, communication accounting,
+partition invariance, and the lower-bound reduction."""
+
+import random
+
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.common.stats import within_relative_tolerance
+from repro.core.exact import exact_model_count
+from repro.distributed.lower_bound import (
+    element_to_term,
+    f0_items_to_site_formulas,
+)
+from repro.distributed.network import BitChannel, DistributedResult, level_bits
+from repro.distributed.partition import partition_random, partition_round_robin
+from repro.distributed.protocols import (
+    distributed_bucketing,
+    distributed_estimation,
+    distributed_minimum,
+    fingerprint_bits,
+)
+from repro.formulas.dnf import DnfFormula
+from repro.formulas.generators import random_dnf
+from repro.streaming.base import SketchParams
+
+PARAMS = SketchParams(eps=0.6, delta=0.2,
+                      thresh_constant=24.0, repetitions_constant=5.0)
+
+
+def make_sites(seed=0, num_vars=10, num_terms=8, width=4, k=4):
+    rng = random.Random(seed)
+    formula = random_dnf(rng, num_vars, num_terms, width)
+    sites = partition_round_robin(formula, k)
+    return formula, sites
+
+
+class TestNetwork:
+    def test_bit_channel_accounting(self):
+        ch = BitChannel()
+        ch.broadcast(100, 4)
+        ch.upload(30)
+        ch.upload(20)
+        assert ch.broadcast_bits == 400
+        assert ch.upload_bits == 50
+        assert ch.total_bits == 450
+
+    def test_negative_bits_rejected(self):
+        ch = BitChannel()
+        with pytest.raises(ValueError):
+            ch.upload(-1)
+        with pytest.raises(ValueError):
+            ch.broadcast(-1, 2)
+
+    def test_level_bits(self):
+        assert level_bits(1) == 1
+        assert level_bits(16) == 5  # Levels 0..16 need 5 bits.
+
+
+class TestPartition:
+    def test_round_robin_preserves_terms(self):
+        formula, sites = make_sites(k=3)
+        total_terms = sum(s.num_terms for s in sites)
+        assert total_terms == formula.num_terms
+        union = set()
+        for s in sites:
+            union |= s.solution_set()
+        assert union == formula.solution_set()
+
+    def test_random_partition_preserves_solutions(self):
+        rng = random.Random(5)
+        formula = random_dnf(rng, 8, 10, 3)
+        sites = partition_random(formula, 4, rng)
+        union = set()
+        for s in sites:
+            union |= s.solution_set()
+        assert union == formula.solution_set()
+
+    def test_invalid_site_count(self):
+        formula = DnfFormula(2, [[1]])
+        with pytest.raises(InvalidParameterError):
+            partition_round_robin(formula, 0)
+
+
+class TestProtocolAccuracy:
+    @pytest.mark.parametrize("protocol", [
+        distributed_bucketing, distributed_minimum, distributed_estimation])
+    def test_estimate_within_tolerance_mostly(self, protocol):
+        formula, sites = make_sites(seed=1)
+        truth = exact_model_count(formula)
+        ok = 0
+        trials = 6
+        for seed in range(trials):
+            result = protocol(sites, PARAMS, random.Random(7_000 + seed))
+            if within_relative_tolerance(result.estimate, truth, PARAMS.eps):
+                ok += 1
+        assert ok >= trials - 1, f"only {ok}/{trials} within tolerance"
+
+    @pytest.mark.parametrize("protocol", [
+        distributed_bucketing, distributed_minimum, distributed_estimation])
+    def test_partition_invariance(self, protocol):
+        # The estimate distribution must not depend on how terms are split:
+        # with the same seed, different partitions give the same estimate
+        # for Minimum (deterministic given hashes) and close estimates for
+        # the others.
+        rng = random.Random(11)
+        formula = random_dnf(rng, 9, 9, 3)
+        sites_a = partition_round_robin(formula, 3)
+        sites_b = partition_round_robin(formula, 9)
+        res_a = protocol(sites_a, PARAMS, random.Random(42))
+        res_b = protocol(sites_b, PARAMS, random.Random(42))
+        if protocol is distributed_minimum:
+            assert res_a.estimate == res_b.estimate
+        else:
+            truth = exact_model_count(formula)
+            assert within_relative_tolerance(res_a.estimate, truth,
+                                             PARAMS.eps)
+            assert within_relative_tolerance(res_b.estimate, truth,
+                                             PARAMS.eps)
+
+    def test_minimum_matches_centralized(self):
+        # With shared hashes the coordinator's merged sketch equals the
+        # centralized FindMin sketch, hence identical estimates.
+        from repro.core.min_count import approx_model_count_min
+        rng = random.Random(13)
+        formula = random_dnf(rng, 9, 8, 3)
+        sites = partition_round_robin(formula, 4)
+        dist = distributed_minimum(sites, PARAMS, random.Random(99))
+        central = approx_model_count_min(formula, PARAMS, random.Random(99))
+        assert dist.estimate == central.estimate
+
+    def test_single_site_degenerates_to_centralized(self):
+        formula, _ = make_sites(seed=2)
+        result = distributed_minimum([formula], PARAMS, random.Random(3))
+        truth = exact_model_count(formula)
+        assert within_relative_tolerance(result.estimate, truth, PARAMS.eps)
+
+    def test_empty_sites_handled(self):
+        formula = DnfFormula(6, [[1, 2]])
+        sites = [formula, DnfFormula(6, []), DnfFormula(6, [])]
+        result = distributed_bucketing(sites, PARAMS, random.Random(4))
+        assert within_relative_tolerance(result.estimate, 16, PARAMS.eps)
+
+    def test_mismatched_vars_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            distributed_minimum([DnfFormula(3, [[1]]), DnfFormula(4, [[1]])],
+                                PARAMS, random.Random(0))
+
+
+class TestCommunicationAccounting:
+    def test_costs_recorded(self):
+        formula, sites = make_sites(seed=6)
+        for protocol in (distributed_bucketing, distributed_minimum,
+                         distributed_estimation):
+            result = protocol(sites, PARAMS, random.Random(8))
+            assert result.upload_bits > 0
+            assert result.broadcast_bits > 0
+            assert result.total_bits == (result.upload_bits
+                                         + result.broadcast_bits)
+
+    def test_minimum_cost_scales_with_sites(self):
+        rng = random.Random(14)
+        formula = random_dnf(rng, 10, 16, 3)
+        costs = []
+        for k in (2, 8):
+            sites = partition_round_robin(formula, k)
+            result = distributed_minimum(sites, PARAMS, random.Random(15))
+            costs.append(result.upload_bits)
+        # More sites -> more duplicated sketch uploads.
+        assert costs[1] > costs[0]
+
+    def test_shared_randomness_vs_explicit_broadcast(self):
+        formula, sites = make_sites(seed=7)
+        shared = distributed_minimum(sites, PARAMS, random.Random(16),
+                                     shared_randomness=True)
+        explicit = distributed_minimum(sites, PARAMS, random.Random(16),
+                                       shared_randomness=False)
+        assert explicit.broadcast_bits > shared.broadcast_bits
+        assert shared.estimate == explicit.estimate
+
+    def test_fingerprint_width_grows_with_sites(self):
+        assert (fingerprint_bits(64, PARAMS)
+                > fingerprint_bits(2, PARAMS))
+
+
+class TestLowerBoundReduction:
+    def test_element_to_term_unique_solution(self):
+        term = element_to_term(0b1011, 4)
+        formula = DnfFormula(4, [term])
+        assert formula.solution_set() == {0b1011}
+
+    def test_reduction_preserves_f0(self):
+        rng = random.Random(17)
+        items = [[rng.randrange(256) for _ in range(20)] for _ in range(4)]
+        truth = len(set().union(*[set(s) for s in items]))
+        formulas = f0_items_to_site_formulas(items, 256)
+        union = set()
+        for f in formulas:
+            union |= f.solution_set()
+        assert len(union) == truth
+
+    def test_protocol_on_reduction_instance(self):
+        rng = random.Random(18)
+        items = [[rng.randrange(512) for _ in range(40)] for _ in range(3)]
+        truth = len(set().union(*[set(s) for s in items]))
+        formulas = f0_items_to_site_formulas(items, 512)
+        result = distributed_minimum(formulas, PARAMS, random.Random(19))
+        assert within_relative_tolerance(result.estimate, truth, PARAMS.eps)
+
+    def test_universe_validation(self):
+        with pytest.raises(InvalidParameterError):
+            f0_items_to_site_formulas([[0]], 1)
+        with pytest.raises(InvalidParameterError):
+            element_to_term(16, 4)

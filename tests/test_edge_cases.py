@@ -1,0 +1,194 @@
+"""Edge-case and failure-injection tests across module boundaries:
+saturation regimes, exhausted/contradictory solver states, order
+invariance, chunked encodings, and the paper's untouched default
+constants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.stats import within_relative_tolerance
+from repro.core.approxmc import approx_mc
+from repro.core.min_count import approx_model_count_min
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dnf import DnfFormula
+from repro.formulas.generators import fixed_count_dnf, random_dnf
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.sat.bruteforce import brute_force_models
+from repro.sat.encode_xor import xor_to_cnf_clauses
+from repro.sat.solver import CdclSolver
+from repro.streaming.base import SketchParams
+from repro.streaming.bucketing import BucketingRow
+from repro.streaming.minimum import MinimumRow
+from repro.structured.dnf_stream import StructuredF0Minimum
+from repro.structured.sets import DnfSet
+
+
+class TestSolverFailureStates:
+    def test_solve_after_unsat_stays_unsat(self):
+        s = CdclSolver(2)
+        s.add_clause([1])
+        s.add_clause([-1])
+        for _ in range(3):
+            assert not s.solve()
+
+    def test_add_clause_after_unsat_is_noop(self):
+        s = CdclSolver(2)
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert not s.add_clause([2])
+        assert not s.solve()
+
+    def test_empty_clause_via_filtering(self):
+        # A clause whose literals are all root-false becomes empty.
+        s = CdclSolver(2)
+        s.add_clause([1])
+        s.add_clause([2])
+        assert not s.add_clause([-1, -2])
+        assert not s.solve()
+
+    def test_xor_after_unsat(self):
+        s = CdclSolver(2)
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert not s.add_xor(0b11, 0)
+
+    def test_many_blocking_clauses(self):
+        # Exhaustive enumeration of a 6-variable cube: 64 blocking clauses
+        # plus the final UNSAT must not corrupt state.
+        s = CdclSolver(6)
+        count = 0
+        while s.solve():
+            model = s.model_int()
+            s.add_clause([
+                -v if (model >> (v - 1)) & 1 else v for v in range(1, 7)])
+            count += 1
+            assert count <= 64
+        assert count == 64
+
+
+class TestSketchSaturation:
+    def test_bucketing_row_at_max_level(self):
+        # More distinct in-cell elements than Thresh even at the deepest
+        # level: the row must cap the level and keep the bucket.
+        rng = random.Random(0)
+        h = ToeplitzHashFamily(4, 4).sample(rng)
+        row = BucketingRow(h, thresh=2)
+        for x in range(16):
+            row.process(x)
+        assert row.level <= 4
+        expected = {x for x in range(16) if h.cell_level(x) >= row.level}
+        assert row.bucket == expected
+
+    def test_minimum_row_all_values_equal_zero(self):
+        # Degenerate hash mapping everything to 0 must not divide by zero.
+        from repro.hashing.base import LinearHash
+        h = LinearHash(4, [0, 0, 0], [0, 0, 0])
+        row = MinimumRow(h, thresh=2)
+        for x in range(16):
+            row.process(x)
+        assert row.estimate() >= 0.0
+
+    def test_structured_estimator_empty_stream(self):
+        est = StructuredF0Minimum(8, SketchParams(
+            eps=0.5, delta=0.2, thresh_constant=8.0,
+            repetitions_constant=3.0), random.Random(1))
+        assert est.estimate() == 0.0
+
+
+class TestOrderInvariance:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_structured_minimum_order_invariant(self, seed):
+        rng = random.Random(seed)
+        items = [DnfSet(random_dnf(rng, 8, 2, 3)) for _ in range(5)]
+        params = SketchParams(eps=0.5, delta=0.3, thresh_constant=16.0,
+                              repetitions_constant=3.0)
+        est_a = StructuredF0Minimum(8, params, random.Random(7))
+        est_b = StructuredF0Minimum(8, params, random.Random(7))
+        est_a.process_stream(items)
+        est_b.process_stream(reversed(items))
+        assert est_a.estimate() == est_b.estimate()
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_minimum_row_merge_commutative(self, seed):
+        rng = random.Random(seed)
+        h = ToeplitzHashFamily(8, 24).sample(rng)
+        items_a = [rng.getrandbits(8) for _ in range(30)]
+        items_b = [rng.getrandbits(8) for _ in range(30)]
+        ab = MinimumRow(h, 8)
+        ba = MinimumRow(h, 8)
+        for x in items_a:
+            ab.process(x)
+        for x in items_b:
+            ba.process(x)
+        ab_copy = MinimumRow(h, 8)
+        ab_copy.merge(ab)
+        ab_copy.merge(ba)
+        ba_copy = MinimumRow(h, 8)
+        ba_copy.merge(ba)
+        ba_copy.merge(ab)
+        assert ab_copy.values() == ba_copy.values()
+
+
+class TestEncodeXorChunking:
+    @given(st.integers(2, 5), st.integers(0, 1),
+           st.lists(st.integers(1, 7), unique=True, max_size=7))
+    @settings(max_examples=60, deadline=None)
+    def test_all_chunk_sizes_equivalent(self, chunk, rhs, variables):
+        clauses, next_aux = xor_to_cnf_clauses(variables, rhs,
+                                               next_aux_var=8,
+                                               chunk_size=chunk)
+        cnf = CnfFormula(max(next_aux - 1, 7), clauses)
+        projected = {m & 0x7F for m in brute_force_models(cnf)}
+        expected = {
+            x for x in range(128)
+            if (sum((x >> (v - 1)) & 1 for v in variables) & 1) == rhs
+        }
+        assert projected == expected
+
+
+class TestPaperDefaultConstants:
+    """One smoke run with the untouched paper constants (Thresh = 96/eps^2,
+    t = 35 ln(1/delta)) to ensure nothing silently depends on the scaled
+    test parameters."""
+
+    def test_approxmc_dnf_paper_constants(self):
+        params = SketchParams(eps=0.8, delta=0.36787944117144233)
+        assert params.thresh == 150
+        assert params.repetitions == 35
+        formula = fixed_count_dnf(12, 9)
+        result = approx_mc(formula, params, random.Random(42))
+        assert within_relative_tolerance(result.estimate, 512, params.eps)
+
+    def test_mincount_dnf_paper_constants(self):
+        params = SketchParams(eps=0.8, delta=0.36787944117144233)
+        formula = fixed_count_dnf(12, 9)
+        result = approx_model_count_min(formula, params, random.Random(43))
+        assert within_relative_tolerance(result.estimate, 512, params.eps)
+
+
+class TestDegenerateFormulas:
+    def test_empty_cnf_counts_full_cube(self):
+        cnf = CnfFormula(5, [])
+        result = approx_mc(cnf, SketchParams(
+            eps=0.8, delta=0.3, thresh_constant=16.0,
+            repetitions_constant=3.0), random.Random(2))
+        assert within_relative_tolerance(result.estimate, 32, 0.8)
+
+    def test_empty_dnf_counts_zero(self):
+        dnf = DnfFormula(5, [])
+        result = approx_mc(dnf, SketchParams(
+            eps=0.8, delta=0.3, thresh_constant=16.0,
+            repetitions_constant=3.0), random.Random(3))
+        assert result.estimate == 0.0
+
+    def test_single_variable_formulas(self):
+        cnf = CnfFormula(1, [[1]])
+        result = approx_model_count_min(cnf, SketchParams(
+            eps=0.9, delta=0.3, thresh_constant=8.0,
+            repetitions_constant=3.0), random.Random(4))
+        assert result.estimate == 1.0

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion.
+
+Keeps deliverable (b) honest -- an API change that breaks an example
+breaks the build, not just the docs."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "probabilistic_database.py",
+    "distributed_provenance.py",
+    "network_telemetry.py",
+    "coset_coverage.py",
+    "paper_walkthrough.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script} produced no output"

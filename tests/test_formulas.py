@@ -1,0 +1,305 @@
+"""Tests for CNF/DNF representations, DIMACS I/O, generators and weights."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidParameterError
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dimacs import (
+    parse_dimacs_cnf,
+    parse_dimacs_dnf,
+    write_dimacs_cnf,
+    write_dimacs_dnf,
+)
+from repro.formulas.dnf import DnfFormula, DnfTerm
+from repro.formulas.generators import (
+    fixed_count_cnf,
+    fixed_count_dnf,
+    planted_k_cnf,
+    random_dnf,
+    random_k_cnf,
+)
+from repro.formulas.weights import WeightFunction
+from repro.formulas.xor_constraint import XorConstraint
+
+
+def naive_clause_eval(clause, x):
+    return any((lit > 0) == bool((x >> (abs(lit) - 1)) & 1) for lit in clause)
+
+
+@st.composite
+def small_cnf(draw):
+    num_vars = draw(st.integers(1, 8))
+    clauses = draw(st.lists(
+        st.lists(st.integers(-num_vars, num_vars).filter(lambda l: l != 0),
+                 min_size=1, max_size=4),
+        max_size=6))
+    return CnfFormula(num_vars, clauses)
+
+
+@st.composite
+def small_dnf(draw):
+    num_vars = draw(st.integers(1, 8))
+    terms = draw(st.lists(
+        st.lists(st.integers(-num_vars, num_vars).filter(lambda l: l != 0),
+                 min_size=0, max_size=4),
+        min_size=1, max_size=6))
+    return DnfFormula(num_vars, terms)
+
+
+class TestCnf:
+    @given(small_cnf(), st.data())
+    def test_evaluate_matches_naive(self, cnf, data):
+        x = data.draw(st.integers(0, (1 << cnf.num_vars) - 1))
+        expected = all(naive_clause_eval(c, x) for c in cnf.clauses)
+        assert cnf.evaluate(x) == expected
+
+    def test_empty_formula_is_tautology(self):
+        cnf = CnfFormula(3, [])
+        assert all(cnf.evaluate(x) for x in range(8))
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(InvalidParameterError):
+            CnfFormula(2, [[1, 0]])
+
+    def test_rejects_out_of_range_literal(self):
+        with pytest.raises(InvalidParameterError):
+            CnfFormula(2, [[3]])
+
+    @given(small_cnf())
+    def test_solutions_bruteforce_complete(self, cnf):
+        sols = set(cnf.solutions_bruteforce())
+        for x in range(1 << cnf.num_vars):
+            assert (x in sols) == cnf.evaluate(x)
+
+    def test_conjoin_intersects_solutions(self):
+        a = CnfFormula(3, [[1]])
+        b = CnfFormula(3, [[2]])
+        both = a.conjoin(b)
+        assert set(both.solutions_bruteforce()) == (
+            set(a.solutions_bruteforce()) & set(b.solutions_bruteforce()))
+
+    def test_shift_variables(self):
+        cnf = CnfFormula(2, [[1, -2]])
+        shifted = cnf.shift_variables(3)
+        assert shifted.num_vars == 5
+        assert shifted.clauses == ((4, -5),)
+
+    def test_equality_and_hash(self):
+        a = CnfFormula(2, [[1, 2]])
+        b = CnfFormula(2, [[1, 2]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != CnfFormula(2, [[1, -2]])
+
+
+class TestDnfTerm:
+    def test_width_counts_distinct_vars(self):
+        assert DnfTerm([1, -2, 3]).width == 3
+        assert DnfTerm([1, 1]).width == 1
+
+    def test_contradictory_term(self):
+        t = DnfTerm([1, -1])
+        assert t.is_contradictory
+        assert not t.evaluate(0)
+        assert not t.evaluate(1)
+        assert t.solution_count(3) == 0
+        assert t.solution_space(3) is None
+
+    def test_empty_term_is_tautology(self):
+        t = DnfTerm([])
+        assert all(t.evaluate(x) for x in range(8))
+        assert t.solution_count(3) == 8
+
+    @given(small_dnf(), st.data())
+    def test_term_evaluate_matches_naive(self, dnf, data):
+        x = data.draw(st.integers(0, (1 << dnf.num_vars) - 1))
+        for t in dnf.terms:
+            expected = all(
+                (lit > 0) == bool((x >> (abs(lit) - 1)) & 1)
+                for lit in t.literals)
+            assert t.evaluate(x) == expected
+
+    @given(small_dnf())
+    def test_solution_space_matches_enumeration(self, dnf):
+        n = dnf.num_vars
+        for t in dnf.terms:
+            space = t.solution_space(n)
+            expected = {x for x in range(1 << n) if t.evaluate(x)}
+            if space is None:
+                assert expected == set()
+            else:
+                assert set(space) == expected
+                assert space.size() == t.solution_count(n)
+
+
+class TestDnfFormula:
+    @given(small_dnf(), st.data())
+    def test_evaluate_is_any_term(self, dnf, data):
+        x = data.draw(st.integers(0, (1 << dnf.num_vars) - 1))
+        assert dnf.evaluate(x) == any(t.evaluate(x) for t in dnf.terms)
+
+    @given(small_dnf())
+    def test_solution_set_matches_bruteforce(self, dnf):
+        assert dnf.solution_set() == set(dnf.solutions_bruteforce())
+
+    def test_solution_set_cap(self):
+        dnf = DnfFormula(10, [[]])  # Tautology: 1024 solutions.
+        with pytest.raises(InvalidParameterError):
+            dnf.solution_set(cap=100)
+
+    def test_singleton_embedding(self):
+        f = DnfFormula.singleton(5, 0b10110)
+        assert set(f.solutions_bruteforce()) == {0b10110}
+
+    def test_singleton_rejects_wide_element(self):
+        with pytest.raises(InvalidParameterError):
+            DnfFormula.singleton(3, 8)
+
+    def test_disjoin_unions_solutions(self):
+        a = DnfFormula(3, [[1, 2]])
+        b = DnfFormula(3, [[-1, -2]])
+        u = a.disjoin(b)
+        assert u.solution_set() == a.solution_set() | b.solution_set()
+
+    def test_rejects_term_beyond_num_vars(self):
+        with pytest.raises(InvalidParameterError):
+            DnfFormula(2, [[3]])
+
+
+class TestXorConstraint:
+    def test_from_variables_round_trip(self):
+        xc = XorConstraint.from_variables([1, 3, 4], 1)
+        assert xc.variables() == (1, 3, 4)
+        assert xc.mask == 0b1101
+        assert xc.rhs == 1
+
+    @given(st.integers(0, 2**8 - 1), st.integers(0, 1), st.data())
+    def test_evaluate(self, mask, rhs, data):
+        xc = XorConstraint(mask, rhs)
+        x = data.draw(st.integers(0, 255))
+        assert xc.evaluate(x) == (((x & mask).bit_count() & 1) == rhs)
+
+    def test_trivial_cases(self):
+        assert XorConstraint(0, 0).is_trivially_true
+        assert XorConstraint(0, 1).is_trivially_false
+
+    def test_rejects_1_indexed_violation(self):
+        with pytest.raises(InvalidParameterError):
+            XorConstraint.from_variables([0], 0)
+
+
+class TestDimacs:
+    @given(small_cnf())
+    def test_cnf_round_trip(self, cnf):
+        assert parse_dimacs_cnf(write_dimacs_cnf(cnf)) == cnf
+
+    @given(small_dnf())
+    def test_dnf_round_trip(self, dnf):
+        assert parse_dimacs_dnf(write_dimacs_dnf(dnf)) == dnf
+
+    def test_comments_skipped(self):
+        text = "c hello\np cnf 2 1\nc mid comment\n1 -2 0\n"
+        cnf = parse_dimacs_cnf(text)
+        assert cnf.clauses == ((1, -2),)
+
+    def test_write_with_comments(self):
+        cnf = CnfFormula(1, [[1]])
+        text = write_dimacs_cnf(cnf, comments=["generated"])
+        assert text.startswith("c generated\n")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_dimacs_cnf("p dnf 2 1\n1 0\n")
+
+    def test_missing_terminator_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_dimacs_cnf("p cnf 2 1\n1 -2\n")
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_dimacs_cnf("p cnf 2 2\n1 0\n")
+
+    def test_literals_before_header_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_dimacs_cnf("1 0\np cnf 2 1\n")
+
+
+class TestGenerators:
+    def test_random_k_cnf_shape(self):
+        rng = random.Random(0)
+        cnf = random_k_cnf(rng, 10, 20, k=3)
+        assert cnf.num_vars == 10
+        assert cnf.num_clauses == 20
+        for clause in cnf.clauses:
+            assert len(clause) == 3
+            assert len({abs(l) for l in clause}) == 3
+
+    def test_planted_cnf_is_satisfiable(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            cnf = planted_k_cnf(rng, 8, 30, k=3)
+            assert any(cnf.evaluate(x) for x in range(256))
+
+    def test_random_dnf_shape(self):
+        rng = random.Random(2)
+        dnf = random_dnf(rng, 12, 5, width=4)
+        assert dnf.num_terms == 5
+        for t in dnf.terms:
+            assert t.width == 4
+            assert not t.is_contradictory
+
+    @pytest.mark.parametrize("n,log2c", [(6, 0), (6, 3), (6, 6), (10, 5)])
+    def test_fixed_count_cnf_exact(self, n, log2c):
+        cnf = fixed_count_cnf(n, log2c)
+        assert sum(1 for _ in cnf.solutions_bruteforce()) == 1 << log2c
+
+    @pytest.mark.parametrize("n,log2c", [(6, 0), (6, 3), (6, 6)])
+    def test_fixed_count_dnf_exact(self, n, log2c):
+        dnf = fixed_count_dnf(n, log2c)
+        assert len(dnf.solution_set()) == 1 << log2c
+
+    def test_width_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_k_cnf(random.Random(0), 2, 1, k=3)
+        with pytest.raises(InvalidParameterError):
+            fixed_count_cnf(4, 5)
+
+
+class TestWeights:
+    def test_uniform_weights(self):
+        w = WeightFunction.uniform(3)
+        assert w.rho(1) == Fraction(1, 2)
+        assert w.total_bits() == 3
+        assert w.assignment_weight(0b101) == Fraction(1, 8)
+
+    def test_assignment_weight(self):
+        w = WeightFunction(2, {1: (1, 2), 2: (3, 2)})  # rho = 1/4, 3/4.
+        assert w.assignment_weight(0b00) == Fraction(3, 4) * Fraction(1, 4)
+        assert w.assignment_weight(0b11) == Fraction(1, 4) * Fraction(3, 4)
+        assert w.assignment_weight(0b01) == Fraction(1, 4) * Fraction(1, 4)
+
+    def test_weights_sum_to_one_over_cube(self):
+        rng = random.Random(3)
+        w = WeightFunction.random(rng, 4)
+        total = sum(w.assignment_weight(x) for x in range(16))
+        assert total == 1
+
+    def test_formula_weight_tautology(self):
+        w = WeightFunction.random(random.Random(4), 3)
+        dnf = DnfFormula(3, [[]])
+        assert w.formula_weight_bruteforce(dnf) == 1
+
+    def test_rejects_degenerate_weight(self):
+        with pytest.raises(InvalidParameterError):
+            WeightFunction(1, {1: (0, 2)})
+        with pytest.raises(InvalidParameterError):
+            WeightFunction(1, {1: (4, 2)})
+
+    def test_rejects_unknown_variable(self):
+        with pytest.raises(InvalidParameterError):
+            WeightFunction(1, {2: (1, 1)})

@@ -1,0 +1,112 @@
+"""Direct property tests for the affine-subspace operations the counting
+algorithms lean on: intersect, max_trailing_zeros, product, and the
+hash-image construction."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.affine import AffineSubspace
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.hashing.xor import XorHashFamily
+
+
+@st.composite
+def subspace(draw, max_width=7):
+    width = draw(st.integers(1, max_width))
+    nrows = draw(st.integers(0, 4))
+    rows = [draw(st.integers(0, (1 << width) - 1)) for _ in range(nrows)]
+    rhs = [draw(st.integers(0, 1)) for _ in range(nrows)]
+    space = AffineSubspace.solve(rows, rhs, width)
+    if space is None:
+        space = AffineSubspace.single_point(width, 0)
+    return space
+
+
+class TestIntersect:
+    @given(subspace(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_filtering(self, space, data):
+        width = space.width
+        nrows = data.draw(st.integers(0, 3))
+        rows = [data.draw(st.integers(0, (1 << width) - 1))
+                for _ in range(nrows)]
+        rhs = [data.draw(st.integers(0, 1)) for _ in range(nrows)]
+        expected = {
+            x for x in space
+            if all(((r & x).bit_count() & 1) == b
+                   for r, b in zip(rows, rhs))
+        }
+        result = space.intersect(rows, rhs)
+        if result is None:
+            assert expected == set()
+        else:
+            assert set(result) == expected
+
+    @given(subspace())
+    def test_empty_constraints_identity(self, space):
+        result = space.intersect([], [])
+        assert result is not None
+        assert set(result) == set(space)
+
+    @given(subspace())
+    def test_self_consistent_constraints(self, space):
+        # Constraining to the subspace's own origin bits along its basis
+        # pivots yields a non-empty result containing the origin.
+        result = space.intersect([1], [space.origin & 1])
+        if result is not None:
+            assert all((x & 1) == (space.origin & 1) for x in result)
+
+
+class TestMaxTrailingZeros:
+    @given(subspace())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bruteforce(self, space):
+        def tz(x):
+            if x == 0:
+                return space.width
+            return (x & -x).bit_length() - 1
+
+        expected = max(tz(x) for x in space)
+        assert space.max_trailing_zeros() == expected
+
+    def test_contains_zero_gives_width(self):
+        space = AffineSubspace(4, 0, [0b0011, 0b1100])
+        assert space.max_trailing_zeros() == 4
+
+
+class TestProduct:
+    @given(subspace(max_width=4), subspace(max_width=4))
+    @settings(max_examples=50, deadline=None)
+    def test_product_semantics(self, a, b):
+        prod = AffineSubspace.product([a, b])
+        assert prod.width == a.width + b.width
+        expected = {x | (y << a.width) for x in a for y in b}
+        assert set(prod) == expected
+
+    def test_product_of_one(self):
+        a = AffineSubspace.full_space(3)
+        assert set(AffineSubspace.product([a])) == set(a)
+
+
+class TestImageSpace:
+    @given(subspace(max_width=6), st.integers(0, 2**16),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_image_matches_pointwise_hash(self, space, seed, use_xor):
+        rng = random.Random(seed)
+        family_cls = XorHashFamily if use_xor else ToeplitzHashFamily
+        h = family_cls(space.width, space.width + 2).sample(rng)
+        image = h.image_space(space)
+        assert set(image) == {h.value(x) for x in space}
+
+    @given(subspace(max_width=6), st.integers(0, 2**16),
+           st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_smallest_elements_of_image(self, space, seed, p):
+        rng = random.Random(seed)
+        h = ToeplitzHashFamily(space.width, 3 * space.width).sample(rng)
+        image = h.image_space(space)
+        expected = sorted({h.value(x) for x in space})[:p]
+        assert image.smallest_elements(p) == expected

@@ -1,0 +1,171 @@
+"""Field-axiom and irreducibility tests for GF(2^n)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidParameterError
+from repro.gf2.gf2n import (
+    GF2n,
+    find_irreducible,
+    is_irreducible,
+    poly_degree,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+)
+
+
+class TestPolyArithmetic:
+    def test_poly_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2).
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    def test_poly_mul_zero(self):
+        assert poly_mul(0, 0b1011) == 0
+
+    @given(st.integers(0, 2**16), st.integers(0, 2**16))
+    def test_poly_mul_commutative(self, a, b):
+        assert poly_mul(a, b) == poly_mul(b, a)
+
+    @given(st.integers(0, 2**10), st.integers(0, 2**10),
+           st.integers(0, 2**10))
+    def test_poly_mul_distributive(self, a, b, c):
+        assert poly_mul(a, b ^ c) == poly_mul(a, b) ^ poly_mul(a, c)
+
+    def test_poly_mod_known(self):
+        # x^2 mod (x^2 + x + 1) = x + 1.
+        assert poly_mod(0b100, 0b111) == 0b11
+
+    @given(st.integers(0, 2**20), st.integers(1, 2**10))
+    def test_poly_mod_degree_bound(self, a, f):
+        r = poly_mod(a, f)
+        assert poly_degree(r) < poly_degree(f) or r == 0
+
+    def test_poly_mod_zero_modulus(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_mod(5, 0)
+
+    @given(st.integers(1, 2**12), st.integers(1, 2**12))
+    def test_gcd_divides_both(self, a, b):
+        g = poly_gcd(a, b)
+        assert poly_mod(a, g) == 0
+        assert poly_mod(b, g) == 0
+
+
+def has_proper_divisor(f):
+    """Trial division over all lower-degree polynomials (f is small)."""
+    d = poly_degree(f)
+    if d <= 0:
+        return False
+    for g in range(2, 1 << d):
+        if poly_degree(g) >= 1 and poly_mod(f, g) == 0 and g != f:
+            return True
+    return False
+
+
+class TestIrreducibility:
+    def test_known_irreducibles(self):
+        assert is_irreducible(0b111)        # x^2 + x + 1
+        assert is_irreducible(0b1011)       # x^3 + x + 1
+        assert is_irreducible(0b10011)      # x^4 + x + 1
+        assert is_irreducible(0b100011011)  # AES: x^8 + x^4 + x^3 + x + 1
+
+    def test_known_reducibles(self):
+        assert not is_irreducible(0b101)      # x^2 + 1 = (x+1)^2
+        assert not is_irreducible(0b110)      # x^2 + x = x(x+1)
+        assert not is_irreducible(0b1111)     # x^3+x^2+x+1 = (x+1)(x^2+1)
+
+    @given(st.integers(4, 2**9))
+    @settings(max_examples=100)
+    def test_rabin_matches_bruteforce(self, f):
+        assert is_irreducible(f) == (poly_degree(f) >= 1
+                                     and not has_proper_divisor(f))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 12, 16, 24, 32, 48, 64])
+    def test_find_irreducible_degrees(self, n):
+        f = find_irreducible(n)
+        assert poly_degree(f) == n
+        assert is_irreducible(f)
+
+    def test_find_irreducible_deterministic(self):
+        assert find_irreducible(16) == find_irreducible(16)
+
+    def test_find_irreducible_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            find_irreducible(0)
+
+
+@pytest.fixture(params=[2, 3, 8, 16])
+def field(request):
+    return GF2n(request.param)
+
+
+class TestFieldAxioms:
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_mul_associative(self, data):
+        field = GF2n(8)
+        a = data.draw(st.integers(0, 255))
+        b = data.draw(st.integers(0, 255))
+        c = data.draw(st.integers(0, 255))
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_mul_commutative_distributive(self, data):
+        field = GF2n(8)
+        a = data.draw(st.integers(0, 255))
+        b = data.draw(st.integers(0, 255))
+        c = data.draw(st.integers(0, 255))
+        assert field.mul(a, b) == field.mul(b, a)
+        assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+
+    def test_mul_identity(self, field):
+        for a in [0, 1, 2, min(5, field.size - 1)]:
+            assert field.mul(a, 1) == a
+
+    def test_inverse(self, field):
+        for a in range(1, min(field.size, 64)):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_inv_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_pow_matches_repeated_mul(self, field):
+        a = 3 % field.size
+        acc = 1
+        for e in range(8):
+            assert field.pow(a, e) == acc
+            acc = field.mul(acc, a)
+
+    def test_pow_negative_exponent(self):
+        field = GF2n(8)
+        a = 17
+        assert field.mul(field.pow(a, -3), field.pow(a, 3)) == 1
+
+    def test_multiplicative_group_order(self):
+        # Every nonzero element satisfies a^(2^n - 1) = 1.
+        field = GF2n(6)
+        for a in range(1, field.size):
+            assert field.pow(a, field.size - 1) == 1
+
+    def test_eval_poly_horner(self):
+        field = GF2n(8)
+        coeffs = [7, 1, 3]  # 7 + x + 3x^2
+        for x in [0, 1, 5, 200]:
+            expected = (coeffs[0]
+                        ^ field.mul(coeffs[1], x)
+                        ^ field.mul(coeffs[2], field.mul(x, x)))
+            assert field.eval_poly(coeffs, x) == expected
+
+    def test_eval_poly_constant(self):
+        field = GF2n(4)
+        assert field.eval_poly([9], 3) == 9
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GF2n(2, modulus=0b101)  # (x+1)^2: reducible.
+        with pytest.raises(InvalidParameterError):
+            GF2n(3, modulus=0b111)  # Wrong degree.

@@ -1,0 +1,206 @@
+"""Tests for the three hash families and the paper's bit conventions."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.base import LinearHash, cell_level, trail_zeros_of_value
+from repro.hashing.kwise import KWiseHashFamily
+from repro.hashing.pick import pick_hash_functions, pick_hash_grid
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.hashing.xor import XorHashFamily
+
+
+FAMILIES = [
+    lambda n, m: ToeplitzHashFamily(n, m),
+    lambda n, m: XorHashFamily(n, m),
+]
+
+
+class TestValueConventions:
+    def test_cell_level_counts_leading_zero_rows(self):
+        assert cell_level(0, 8) == 8
+        assert cell_level(0b00010000, 8) == 3
+        assert cell_level(0b10000000, 8) == 0
+
+    def test_cell_level_rejects_wide_value(self):
+        with pytest.raises(ValueError):
+            cell_level(256, 8)
+
+    def test_trail_zeros_of_value(self):
+        assert trail_zeros_of_value(0, 8) == 8
+        assert trail_zeros_of_value(0b1000, 8) == 3
+
+    @given(st.integers(0, 2**10 - 1), st.integers(0, 2**10 - 1))
+    def test_numeric_order_is_lex_order(self, a, b):
+        # With row 0 at the MSB, numeric comparison equals lexicographic
+        # comparison of the 10-bit row strings.
+        sa = format(a, "010b")
+        sb = format(b, "010b")
+        assert (a < b) == (sa < sb)
+
+
+@st.composite
+def sampled_linear_hash(draw):
+    n = draw(st.integers(1, 12))
+    m = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 2**32))
+    family = draw(st.sampled_from(FAMILIES))(n, m)
+    return family.sample(random.Random(seed)), n, m
+
+
+class TestLinearHash:
+    @given(sampled_linear_hash(), st.data())
+    def test_prefix_value_is_value_shift(self, sampled, data):
+        h, n, m = sampled
+        x = data.draw(st.integers(0, (1 << n) - 1))
+        full = h.value(x)
+        for length in range(m + 1):
+            assert h.prefix_value(x, length) == full >> (m - length)
+
+    @given(sampled_linear_hash(), st.data())
+    def test_affinity(self, sampled, data):
+        h, n, m = sampled
+        x = data.draw(st.integers(0, (1 << n) - 1))
+        y = data.draw(st.integers(0, (1 << n) - 1))
+        zero = h.value(0)
+        # h(x) + h(y) + h(0) = h(x ^ y) for affine maps.
+        assert h.value(x) ^ h.value(y) ^ zero == h.value(x ^ y)
+
+    @given(sampled_linear_hash(), st.data())
+    def test_cell_level_matches_in_cell(self, sampled, data):
+        h, n, m = sampled
+        x = data.draw(st.integers(0, (1 << n) - 1))
+        level = h.cell_level(x)
+        for l in range(m + 1):
+            assert h.in_cell(x, l) == (l <= level)
+
+    @given(sampled_linear_hash(), st.data())
+    def test_prefix_constraints_characterise_cell(self, sampled, data):
+        h, n, m = sampled
+        x = data.draw(st.integers(0, (1 << n) - 1))
+        length = data.draw(st.integers(0, m))
+        target = data.draw(st.integers(0, (1 << length) - 1 if length else 0))
+        constraints = h.prefix_constraints(length, target)
+        satisfied = all(((mask & x).bit_count() & 1) == rhs
+                        for mask, rhs in constraints)
+        assert satisfied == (h.prefix_value(x, length) == target)
+
+    @given(sampled_linear_hash(), st.data())
+    def test_suffix_constraints_characterise_trailzero(self, sampled, data):
+        h, n, m = sampled
+        x = data.draw(st.integers(0, (1 << n) - 1))
+        t = data.draw(st.integers(0, m))
+        constraints = h.suffix_constraints(t)
+        satisfied = all(((mask & x).bit_count() & 1) == rhs
+                        for mask, rhs in constraints)
+        assert satisfied == (h.trail_zeros(x) >= t)
+
+    @given(sampled_linear_hash())
+    def test_row_slice_consistency(self, sampled):
+        h, n, m = sampled
+        for length in range(m + 1):
+            sliced = h.row_slice(length)
+            for x in [0, 1, (1 << n) - 1]:
+                assert sliced.value(x) == h.prefix_value(x, length)
+
+    def test_mismatched_rows_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            LinearHash(3, [0b1, 0b10], [0])
+
+
+class TestPairwiseIndependence:
+    """Statistical 2-wise independence checks (exact over the seed space
+    would be exponential; we use tight empirical tolerances with fixed
+    seeds so the tests are deterministic)."""
+
+    @pytest.mark.parametrize("family_cls", [ToeplitzHashFamily, XorHashFamily])
+    def test_single_value_uniform(self, family_cls):
+        rng = random.Random(123)
+        family = family_cls(6, 4)
+        counts = Counter()
+        trials = 4000
+        x = 0b101101 & 0b111111
+        for _ in range(trials):
+            h = family.sample(rng)
+            counts[h.value(x)] += 1
+        for v in range(16):
+            # Expect 250 per cell; allow generous +-40%.
+            assert 130 <= counts[v] <= 380
+
+    @pytest.mark.parametrize("family_cls", [ToeplitzHashFamily, XorHashFamily])
+    def test_pair_collision_probability(self, family_cls):
+        rng = random.Random(321)
+        family = family_cls(8, 5)
+        x, y = 0b10110100, 0b01101001
+        trials = 8000
+        collisions = sum(
+            1 for _ in range(trials)
+            if (h := family.sample(rng)).value(x) == h.value(y)
+        )
+        # 2-wise independence -> Pr[collision] = 2^-5 = 0.03125.
+        assert 0.02 <= collisions / trials <= 0.045
+
+    def test_kwise_single_value_uniform(self):
+        rng = random.Random(99)
+        family = KWiseHashFamily(6, independence=4)
+        counts = Counter()
+        trials = 4000
+        for _ in range(trials):
+            h = family.sample(rng)
+            counts[h.value(0b110101) >> 2] += 1  # Bucket into 16 cells.
+        for v in range(16):
+            assert 130 <= counts[v] <= 380
+
+
+class TestKWiseFamily:
+    def test_dimensions(self):
+        family = KWiseHashFamily(10, independence=5)
+        h = family.sample(random.Random(0))
+        assert h.in_bits == h.out_bits == 10
+        assert h.independence == 5
+        assert h.seed_bits == 50
+
+    def test_prefix_value(self):
+        h = KWiseHashFamily(8, 3).sample(random.Random(1))
+        for x in range(0, 256, 37):
+            assert h.prefix_value(x, 3) == h.value(x) >> 5
+
+    def test_trail_zeros(self):
+        h = KWiseHashFamily(8, 3).sample(random.Random(2))
+        for x in range(0, 256, 17):
+            v = h.value(x)
+            expected = 8 if v == 0 else (v & -v).bit_length() - 1
+            assert h.trail_zeros(x) == expected
+
+    def test_degree_one_is_constant(self):
+        # independence=1 is the constant function a_0.
+        h = KWiseHashFamily(8, 1).sample(random.Random(3))
+        values = {h.value(x) for x in range(256)}
+        assert len(values) == 1
+
+    def test_rejects_zero_independence(self):
+        with pytest.raises(ValueError):
+            KWiseHashFamily(8, 0)
+
+
+class TestPickers:
+    def test_pick_hash_functions_count_and_independence(self):
+        rng = random.Random(5)
+        hashes = pick_hash_functions(ToeplitzHashFamily(8, 8), 10, rng)
+        assert len(hashes) == 10
+        # Sanity: not all identical.
+        assert len({h.value(0b1011) for h in hashes}) > 1
+
+    def test_pick_hash_grid_shape(self):
+        rng = random.Random(6)
+        grid = pick_hash_grid(KWiseHashFamily(6, 3), 4, 5, rng)
+        assert len(grid) == 4
+        assert all(len(row) == 5 for row in grid)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            pick_hash_functions(ToeplitzHashFamily(4, 4), -1, random.Random(0))

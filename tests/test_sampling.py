@@ -1,0 +1,72 @@
+"""Tests for the hash-cell solution sampler (Section 6 extension)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common.errors import InvalidParameterError, UnsatisfiableError
+from repro.core.sampling import SolutionSampler, sample_solutions
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.dnf import DnfFormula
+from repro.formulas.generators import fixed_count_dnf, random_dnf, random_k_cnf
+
+
+class TestSamplerBasics:
+    def test_samples_are_solutions_dnf(self):
+        rng = random.Random(0)
+        formula = random_dnf(rng, 12, 6, 5)
+        samples = sample_solutions(formula, rng, 50)
+        assert len(samples) == 50
+        assert all(formula.evaluate(x) for x in samples)
+
+    def test_samples_are_solutions_cnf(self):
+        rng = random.Random(1)
+        formula = random_k_cnf(rng, 10, 20, 3)
+        while not any(formula.evaluate(x) for x in range(1 << 10)):
+            formula = random_k_cnf(rng, 10, 20, 3)
+        samples = sample_solutions(formula, rng, 20)
+        assert all(formula.evaluate(x) for x in samples)
+
+    def test_unsat_raises(self):
+        formula = CnfFormula(4, [[1], [-1]])
+        with pytest.raises(UnsatisfiableError):
+            sample_solutions(formula, random.Random(2), 1)
+
+    def test_singleton_solution_space(self):
+        formula = DnfFormula.singleton(8, 0b1011_0010)
+        samples = sample_solutions(formula, random.Random(3), 10)
+        assert set(samples) == {0b1011_0010}
+
+    def test_parameter_validation(self):
+        formula = fixed_count_dnf(6, 3)
+        with pytest.raises(InvalidParameterError):
+            SolutionSampler(formula, random.Random(4), pivot=1)
+        sampler = SolutionSampler(formula, random.Random(4))
+        with pytest.raises(InvalidParameterError):
+            sampler.sample_many(-1)
+
+
+class TestSamplerUniformity:
+    def test_small_space_covered(self):
+        formula = fixed_count_dnf(10, 3)  # 8 solutions.
+        sampler = SolutionSampler(formula, random.Random(5))
+        seen = set(sampler.sample_many(200))
+        assert seen == set(formula.solution_set())
+
+    def test_empirical_skew_bounded(self):
+        # Near-uniformity: over a 16-solution space, 1600 draws should
+        # give each solution close to 100 hits; we allow a generous 3x
+        # max/min ratio (the sampler is *near*-uniform, not exact).
+        formula = fixed_count_dnf(10, 4)
+        sampler = SolutionSampler(formula, random.Random(6))
+        counts = Counter(sampler.sample_many(1600))
+        assert set(counts) == set(formula.solution_set())
+        assert max(counts.values()) <= 3 * min(counts.values())
+
+    def test_level_adapts(self):
+        # A large solution space should push the sampler to level > 0.
+        formula = fixed_count_dnf(14, 11)  # 2048 solutions.
+        sampler = SolutionSampler(formula, random.Random(7))
+        sampler.sample_many(5)
+        assert sampler.level > 0

@@ -1,0 +1,114 @@
+"""Tests for the NP-oracle facade: sessions, call accounting, hash
+attachment, and the enumeration backend."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidParameterError
+from repro.formulas.cnf import CnfFormula
+from repro.formulas.generators import random_k_cnf
+from repro.formulas.xor_constraint import XorConstraint
+from repro.hashing.kwise import KWiseHashFamily
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.sat.bruteforce import brute_force_models
+from repro.sat.oracle import EnumerationOracle, NpOracle
+
+
+class TestNpOracle:
+    def test_call_counting_across_sessions(self):
+        cnf = CnfFormula(4, [[1, 2]])
+        oracle = NpOracle(cnf)
+        s1 = oracle.session()
+        s2 = oracle.session()
+        s1.solve()
+        s2.solve()
+        s1.solve([-1])
+        assert oracle.calls == 3
+
+    def test_is_satisfiable_counts_one_call(self):
+        cnf = CnfFormula(3, [[1], [2]])
+        oracle = NpOracle(cnf)
+        assert oracle.is_satisfiable()
+        assert not oracle.is_satisfiable(assumptions=[-1])
+        assert oracle.calls == 2
+
+    @given(st.integers(2, 7), st.integers(0, 2**16), st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_enumerate_models_matches_bruteforce(self, n, seed, limit):
+        rng = random.Random(seed)
+        cnf = random_k_cnf(rng, n, rng.randint(0, 8), k=min(3, n))
+        xors = [XorConstraint(rng.randint(1, (1 << n) - 1),
+                              rng.getrandbits(1))
+                for _ in range(rng.randint(0, 2))]
+        expected = brute_force_models(cnf, xors)
+        got = NpOracle(cnf).enumerate_models(xors, limit=limit)
+        if len(expected) <= limit:
+            assert sorted(got) == expected
+        else:
+            assert len(got) == limit
+            assert set(got) <= set(expected)
+
+    def test_model_requires_successful_solve(self):
+        cnf = CnfFormula(2, [[1], [-1]])
+        session = NpOracle(cnf).session()
+        assert not session.solve()
+        with pytest.raises(InvalidParameterError):
+            session.model_int()
+
+    def test_attach_hash_ties_outputs(self):
+        cnf = CnfFormula(5, [[1, 2, 3]])
+        oracle = NpOracle(cnf)
+        session = oracle.session()
+        h = ToeplitzHashFamily(5, 6).sample(random.Random(0))
+        y_vars = session.attach_hash(h)
+        assert len(y_vars) == 6
+        # Force a specific model and check the y variables carry its hash.
+        assert session.solve()
+        model = session.model_int() & 0b11111
+        value = h.value(model)
+        for r, y in enumerate(y_vars):
+            expected_bit = (value >> (6 - 1 - r)) & 1
+            got = session._solver.value_of(y)
+            assert got == bool(expected_bit)
+
+    def test_trailzero_query_linear_hash(self):
+        cnf = CnfFormula(4, [])
+        oracle = NpOracle(cnf)
+        h = ToeplitzHashFamily(4, 4).sample(random.Random(1))
+        best = max(h.trail_zeros(x) for x in range(16))
+        assert oracle.exists_with_trailzero_at_least(h, best)
+        if best < 4:
+            assert not oracle.exists_with_trailzero_at_least(h, best + 1)
+
+    def test_trailzero_query_rejects_nonlinear(self):
+        cnf = CnfFormula(4, [])
+        oracle = NpOracle(cnf)
+        h = KWiseHashFamily(4, 3).sample(random.Random(2))
+        with pytest.raises(InvalidParameterError):
+            oracle.exists_with_trailzero_at_least(h, 1)
+
+
+class TestEnumerationOracle:
+    def test_from_cnf_matches_bruteforce(self):
+        rng = random.Random(3)
+        cnf = random_k_cnf(rng, 6, 8, 3)
+        oracle = EnumerationOracle.from_cnf(cnf)
+        assert oracle.solutions == set(cnf.solutions_bruteforce())
+
+    def test_query_counting(self):
+        oracle = EnumerationOracle({1, 2, 3})
+        h = ToeplitzHashFamily(4, 4).sample(random.Random(4))
+        oracle.exists_with_trailzero_at_least(h, 0)
+        oracle.exists_with_trailzero_at_least(h, 2)
+        assert oracle.calls == 2
+
+    def test_kwise_queries_supported(self):
+        oracle = EnumerationOracle(set(range(16)))
+        h = KWiseHashFamily(4, 3).sample(random.Random(5))
+        expected = max(h.trail_zeros(x) for x in range(16))
+        assert oracle.exists_with_trailzero_at_least(h, expected)
+        assert not oracle.exists_with_trailzero_at_least(h, expected + 1) \
+            or expected == 4

@@ -1,0 +1,368 @@
+"""Tests for structured set streams: compilers (ranges, progressions,
+affine, weighted) against explicit set semantics, and the two F0 estimators
+against exact unions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidParameterError
+from repro.common.stats import within_relative_tolerance
+from repro.formulas.dnf import DnfFormula
+from repro.formulas.generators import random_dnf
+from repro.formulas.weights import WeightFunction
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.streaming.base import SketchParams
+from repro.structured.affine_stream import affine_find_min
+from repro.structured.cnf_ranges import (
+    StructuredF0MinimumCnf,
+    multirange_to_cnf,
+    range_to_cnf_clauses,
+)
+from repro.structured.dnf_stream import (
+    StructuredF0Bucketing,
+    StructuredF0Minimum,
+)
+from repro.structured.progressions import MultiProgression
+from repro.structured.ranges import (
+    MultiRange,
+    aligned_subcubes,
+    range_to_subcube_terms,
+)
+from repro.structured.sets import AffineSet, DnfSet, SingletonSet
+from repro.structured.weighted import (
+    weighted_dnf_count,
+    weighted_dnf_exact_via_ranges,
+    weighted_dnf_to_ranges,
+)
+
+PARAMS = SketchParams(eps=0.5, delta=0.2,
+                      thresh_constant=24.0, repetitions_constant=5.0)
+
+
+def pieces_union(structured):
+    out = set()
+    for piece in structured.affine_pieces():
+        out.update(piece)
+    return out
+
+
+class TestAlignedSubcubes:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_partition_exact(self, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        blocks = list(aligned_subcubes(lo, hi))
+        covered = []
+        for base, free in blocks:
+            assert base % (1 << free) == 0, "block not aligned"
+            covered.extend(range(base, base + (1 << free)))
+        assert sorted(covered) == list(range(lo, hi + 1))
+        assert len(covered) == len(set(covered)), "blocks overlap"
+
+    @given(st.integers(0, 2**10 - 1), st.integers(0, 2**10 - 1))
+    def test_block_count_bound(self, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        blocks = list(aligned_subcubes(lo, hi))
+        assert len(blocks) <= 2 * 10  # Lemma 4's 2n bound.
+
+    def test_observation1_block_count(self):
+        # [1, 2^n - 1] needs exactly n blocks.
+        for n in (3, 5, 8):
+            assert len(list(aligned_subcubes(1, (1 << n) - 1))) == n
+
+
+class TestRangeCompilation:
+    @given(st.integers(1, 8), st.data())
+    def test_terms_cover_range_exactly(self, n, data):
+        hi = data.draw(st.integers(0, (1 << n) - 1))
+        lo = data.draw(st.integers(0, hi))
+        terms = range_to_subcube_terms(lo, hi, n)
+        formula = DnfFormula(n, terms)
+        assert formula.solution_set() == set(range(lo, hi + 1))
+
+    @given(st.integers(1, 4), st.integers(1, 3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_multirange_semantics(self, bits, dims, data):
+        intervals = []
+        for _ in range(dims):
+            hi = data.draw(st.integers(0, (1 << bits) - 1))
+            lo = data.draw(st.integers(0, hi))
+            intervals.append((lo, hi))
+        mr = MultiRange(intervals, bits)
+        explicit = set()
+        def rec(dim, acc):
+            if dim == dims:
+                explicit.add(acc)
+                return
+            lo, hi = intervals[dim]
+            for c in range(lo, hi + 1):
+                rec(dim + 1, acc | (c << (dim * bits)))
+        rec(0, 0)
+        assert pieces_union(mr) == explicit
+        assert mr.to_dnf().solution_set() == explicit
+        assert mr.size() == len(explicit)
+        for x in range(1 << mr.num_vars):
+            assert mr.contains(x) == (x in explicit)
+
+    def test_observation1_term_count_is_n_pow_d(self):
+        for n, d in ((4, 1), (4, 2), (3, 3)):
+            mr = MultiRange([(1, (1 << n) - 1)] * d, n)
+            assert mr.term_count() == n ** d
+
+    def test_lazy_iteration_matches_count(self):
+        mr = MultiRange([(1, 6), (2, 7)], 3)
+        assert sum(1 for _ in mr.iter_terms()) == mr.term_count()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MultiRange([(3, 2)], 4)
+        with pytest.raises(InvalidParameterError):
+            MultiRange([(0, 16)], 4)
+        with pytest.raises(InvalidParameterError):
+            MultiRange([], 4)
+
+    def test_pack(self):
+        mr = MultiRange([(0, 3), (0, 3)], 2)
+        assert mr.pack([0b01, 0b10]) == 0b1001
+
+
+class TestProgressions:
+    @given(st.integers(2, 5), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_one_dim_semantics(self, bits, data):
+        hi = data.draw(st.integers(0, (1 << bits) - 1))
+        lo = data.draw(st.integers(0, hi))
+        l = data.draw(st.integers(0, bits))
+        mp = MultiProgression([(lo, hi, l)], bits)
+        expected = set(range(lo, hi + 1, 1 << l))
+        assert pieces_union(mp) == expected
+        assert mp.size() == len(expected)
+        for x in range(1 << bits):
+            assert mp.contains(x) == (x in expected)
+
+    def test_two_dim_semantics(self):
+        mp = MultiProgression([(1, 13, 2), (0, 6, 1)], 4)
+        expected = set()
+        for a in range(1, 14, 4):
+            for b in range(0, 7, 2):
+                expected.add(a | (b << 4))
+        assert pieces_union(mp) == expected
+        assert mp.size() == len(expected)
+
+    def test_step_one_equals_range(self):
+        mp = MultiProgression([(2, 11, 0)], 4)
+        mr = MultiRange([(2, 11)], 4)
+        assert pieces_union(mp) == pieces_union(mr)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MultiProgression([(5, 2, 1)], 4)
+        with pytest.raises(InvalidParameterError):
+            MultiProgression([(0, 3, 7)], 4)
+
+
+class TestAffineSets:
+    @given(st.integers(2, 7), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_set_semantics(self, n, data):
+        rows = [data.draw(st.integers(0, (1 << n) - 1))
+                for _ in range(data.draw(st.integers(0, 4)))]
+        rhs = [data.draw(st.integers(0, 1)) for _ in rows]
+        aset = AffineSet(rows, rhs, n)
+        explicit = {x for x in range(1 << n)
+                    if all(((r & x).bit_count() & 1) == b
+                           for r, b in zip(rows, rhs))}
+        assert pieces_union(aset) == explicit
+        assert aset.size() == len(explicit)
+        assert aset.is_empty == (not explicit)
+
+    @given(st.integers(2, 6), st.integers(0, 2**16), st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_affine_find_min_matches_bruteforce(self, n, seed, t):
+        rng = random.Random(seed)
+        rows = [rng.getrandbits(n) for _ in range(rng.randint(0, 3))]
+        rhs = [rng.getrandbits(1) for _ in rows]
+        aset = AffineSet(rows, rhs, n)
+        h = ToeplitzHashFamily(n, 3 * n).sample(rng)
+        expected = sorted({h.value(x) for x in pieces_union(aset)})[:t]
+        assert affine_find_min(aset, h, t) == expected
+
+    def test_empty_affine_set(self):
+        aset = AffineSet([0], [1], 4)  # 0 = 1: inconsistent.
+        assert aset.is_empty
+        h = ToeplitzHashFamily(4, 12).sample(random.Random(0))
+        assert affine_find_min(aset, h, 5) == []
+
+
+class TestDnfAndSingletonSets:
+    @given(st.integers(2, 7), st.data())
+    def test_dnf_set_pieces(self, n, data):
+        terms = data.draw(st.lists(
+            st.lists(st.integers(-n, n).filter(lambda l: l != 0),
+                     min_size=1, max_size=3), min_size=1, max_size=4))
+        dnf = DnfFormula(n, terms)
+        assert pieces_union(DnfSet(dnf)) == dnf.solution_set()
+
+    def test_singleton(self):
+        s = SingletonSet(5, 0b10101)
+        assert pieces_union(s) == {0b10101}
+        assert s.contains(0b10101)
+        assert not s.contains(0)
+
+
+class TestStructuredEstimators:
+    def _random_range_stream(self, rng, bits, dims, items):
+        stream = []
+        for _ in range(items):
+            intervals = []
+            for _ in range(dims):
+                hi = rng.randint(0, (1 << bits) - 1)
+                lo = rng.randint(0, hi)
+                intervals.append((lo, hi))
+            stream.append(MultiRange(intervals, bits))
+        return stream
+
+    @pytest.mark.parametrize("estimator_cls", [
+        StructuredF0Minimum, StructuredF0Bucketing])
+    def test_range_stream_accuracy(self, estimator_cls):
+        ok = 0
+        trials = 6
+        for seed in range(trials):
+            rng = random.Random(90_000 + seed)
+            stream = self._random_range_stream(rng, 6, 2, 12)
+            truth = len(set().union(*[pieces_union(s) for s in stream]))
+            est = estimator_cls(stream[0].num_vars, PARAMS, rng)
+            est.process_stream(stream)
+            if within_relative_tolerance(est.estimate(), truth, PARAMS.eps):
+                ok += 1
+        assert ok >= trials - 1
+
+    @pytest.mark.parametrize("estimator_cls", [
+        StructuredF0Minimum, StructuredF0Bucketing])
+    def test_dnf_stream_accuracy(self, estimator_cls):
+        rng = random.Random(91_000)
+        stream = [DnfSet(random_dnf(rng, 10, 3, 4)) for _ in range(8)]
+        truth = len(set().union(*[pieces_union(s) for s in stream]))
+        est = estimator_cls(10, PARAMS, rng)
+        est.process_stream(stream)
+        assert within_relative_tolerance(est.estimate(), truth, PARAMS.eps)
+
+    def test_affine_stream_accuracy(self):
+        rng = random.Random(92_000)
+        stream = []
+        for _ in range(10):
+            rows = [rng.getrandbits(10) for _ in range(rng.randint(2, 5))]
+            rhs = [rng.getrandbits(1) for _ in rows]
+            stream.append(AffineSet(rows, rhs, 10))
+        truth = len(set().union(*[pieces_union(s) for s in stream]))
+        est = StructuredF0Minimum(10, PARAMS, rng)
+        est.process_stream(stream)
+        assert within_relative_tolerance(est.estimate(), truth, PARAMS.eps)
+
+    def test_singleton_stream_equals_classic_f0(self):
+        # The structured model subsumes the classic one.
+        rng = random.Random(93_000)
+        elements = [rng.getrandbits(12) for _ in range(300)]
+        truth = len(set(elements))
+        est = StructuredF0Minimum(12, PARAMS, rng)
+        est.process_stream(SingletonSet(12, x) for x in elements)
+        assert within_relative_tolerance(est.estimate(), truth, PARAMS.eps)
+
+    def test_progression_stream(self):
+        rng = random.Random(94_000)
+        stream = [MultiProgression([(1, 60, 2), (0, 50, 1)], 6),
+                  MultiProgression([(0, 63, 1), (3, 40, 0)], 6)]
+        truth = len(pieces_union(stream[0]) | pieces_union(stream[1]))
+        est = StructuredF0Minimum(12, PARAMS, rng)
+        est.process_stream(stream)
+        assert within_relative_tolerance(est.estimate(), truth, PARAMS.eps)
+
+
+class TestCnfRanges:
+    @given(st.integers(1, 8), st.data())
+    def test_cnf_range_semantics(self, n, data):
+        hi = data.draw(st.integers(0, (1 << n) - 1))
+        lo = data.draw(st.integers(0, hi))
+        cnf = __import__("repro.formulas.cnf", fromlist=["CnfFormula"]) \
+            .CnfFormula(n, range_to_cnf_clauses(lo, hi, n))
+        assert set(cnf.solutions_bruteforce()) == set(range(lo, hi + 1))
+
+    @given(st.integers(1, 3), st.integers(1, 3), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_multirange_cnf_matches_dnf(self, bits, dims, data):
+        intervals = []
+        for _ in range(dims):
+            hi = data.draw(st.integers(0, (1 << bits) - 1))
+            lo = data.draw(st.integers(0, hi))
+            intervals.append((lo, hi))
+        mr = MultiRange(intervals, bits)
+        cnf = multirange_to_cnf(mr)
+        assert set(cnf.solutions_bruteforce()) == pieces_union(mr)
+
+    def test_cnf_size_linear_in_n_and_d(self):
+        # Observation 2: O(nd) clauses, versus n^d DNF terms.
+        n, d = 8, 3
+        mr = MultiRange([(1, (1 << n) - 1)] * d, n)
+        cnf = multirange_to_cnf(mr)
+        assert cnf.num_clauses <= 2 * n * d
+        assert mr.term_count() == n ** d
+
+    def test_cnf_stream_estimator(self):
+        rng = random.Random(95_000)
+        light = SketchParams(eps=0.8, delta=0.3, thresh_constant=16.0,
+                             repetitions_constant=3.0)
+        stream = [MultiRange([(2, 50)], 6), MultiRange([(20, 63)], 6)]
+        est = StructuredF0MinimumCnf(6, light, rng)
+        for mr in stream:
+            est.process_cnf(multirange_to_cnf(mr))
+        truth = len(pieces_union(stream[0]) | pieces_union(stream[1]))
+        assert within_relative_tolerance(est.estimate(), truth, light.eps)
+        assert est.oracle_calls > 0
+
+
+class TestWeighted:
+    @given(st.integers(2, 5), st.integers(1, 4), st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_exact_identity(self, n, k, seed):
+        rng = random.Random(seed)
+        formula = random_dnf(rng, n, k, width=min(2, n))
+        weights = WeightFunction.random(rng, n, max_bits=3)
+        exact_direct = weights.formula_weight_bruteforce(formula)
+        exact_via_ranges = weighted_dnf_exact_via_ranges(formula, weights)
+        assert exact_direct == exact_via_ranges
+
+    def test_uniform_weights_reduce_to_counting(self):
+        formula = DnfFormula(4, [[1, 2]])
+        weights = WeightFunction.uniform(4)
+        assert weighted_dnf_exact_via_ranges(formula, weights) \
+            == __import__("fractions").Fraction(4, 16)
+
+    def test_estimated_weight_accuracy(self):
+        rng = random.Random(96_000)
+        formula = random_dnf(rng, 6, 4, width=3)
+        weights = WeightFunction.random(rng, 6, max_bits=3)
+        truth = float(weights.formula_weight_bruteforce(formula))
+        ok = 0
+        for seed in range(5):
+            est = weighted_dnf_count(formula, weights, PARAMS,
+                                     random.Random(97_000 + seed))
+            if truth == 0:
+                ok += est == 0
+            elif within_relative_tolerance(est, truth, PARAMS.eps):
+                ok += 1
+        assert ok >= 4
+
+    def test_range_count_matches_terms(self):
+        formula = DnfFormula(3, [[1], [2, -3], [1, -1]])
+        weights = WeightFunction.uniform(3)
+        ranges = weighted_dnf_to_ranges(formula, weights)
+        assert len(ranges) == 2  # Contradictory term dropped.
+
+    def test_mismatched_vars_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            weighted_dnf_to_ranges(DnfFormula(3, [[1]]),
+                                   WeightFunction.uniform(4))
