@@ -1,0 +1,159 @@
+"""E23 -- The incremental cell-search engine vs. fresh-solver BoundedSAT.
+
+ApproxMC's level search issues nested-cell probes against one hash per
+repetition.  The seed implementation paid for that nesting twice: every
+probe rebuilt the CDCL solver from the full formula, and every probe
+re-enumerated (with one restart per model) solutions earlier probes had
+already found.  The engine (`repro.core.cell_search.CellSearchEngine`)
+keeps one solver per repetition, selects levels via assumptions, caches
+models across levels, and enumerates by continuation.
+
+Three configurations, identical sketches by construction:
+
+* ``seed``  -- the pre-engine baseline, reproduced verbatim: fresh
+  session per probe, full-width blocking clause and search restart per
+  model (what ``_cell_count`` did before this engine existed);
+* ``fresh`` -- today's one-shot path (``incremental=False``): still a
+  fresh solver per probe, but with the improved enumeration;
+* ``engine`` -- the incremental engine (``incremental=True``).
+
+Reported per instance and strategy: wall-clock, NP-oracle calls, and
+probes/sec.  The headline claim: the engine is >= 3x faster than the
+seed baseline on CNF level search, with identical estimates.
+"""
+
+import random
+import time
+
+from benchmarks.harness import BENCH_PARAMS, emit, format_table
+from repro.core.approxmc import _STRATEGIES, approx_mc
+from repro.core.cell_search import CellSearch, cell_search_for
+from repro.formulas.generators import fixed_count_cnf, random_k_cnf
+from repro.formulas.xor_constraint import XorConstraint
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.sat.oracle import NpOracle
+
+
+class SeedCellSearch(CellSearch):
+    """The seed's ``_cell_count``, kept runnable for this comparison:
+    fresh oracle session per probe, full-width blocking clauses, and a
+    full search restart per enumerated model."""
+
+    def __init__(self, formula, h, thresh, oracle):
+        super().__init__(h, thresh)
+        self.formula = formula
+        self.oracle = oracle
+
+    def _count_uncached(self, m):
+        xors = [XorConstraint(mask, rhs)
+                for mask, rhs in self.h.prefix_constraints(m, 0)]
+        session = self.oracle.session(xors)
+        count = 0
+        while count < self.thresh:
+            if not session.solve():
+                break
+            model = session.model_int() & ((1 << self.formula.num_vars) - 1)
+            session.block_model(model, self.formula.num_vars)
+            count += 1
+        return count
+
+    def models(self, m, p):
+        raise NotImplementedError("benchmark baseline counts only")
+
+
+def _run(formula, hashes, strategy, mode):
+    """One full ApproxMC level search; returns (sketches, seconds, calls,
+    probes)."""
+    find_level = _STRATEGIES[strategy]
+    oracle = NpOracle(formula)
+    start = time.perf_counter()
+    sketches = []
+    probes = 0
+    for h in hashes:
+        if mode == "seed":
+            cells = SeedCellSearch(formula, h, BENCH_PARAMS.thresh, oracle)
+        else:
+            cells = cell_search_for(formula, h, BENCH_PARAMS.thresh,
+                                    oracle=oracle,
+                                    incremental=(mode == "engine"))
+        sketches.append(find_level(cells))
+        probes += len(cells.request_log)
+    elapsed = time.perf_counter() - start
+    return sketches, elapsed, oracle.calls, probes
+
+
+def run_comparison():
+    instances = [
+        ("fixed(16,14)", fixed_count_cnf(16, 14)),
+        ("rand3cnf(20,60)", random_k_cnf(random.Random(5), 20, 60, k=3)),
+        ("rand3cnf(24,84)", random_k_cnf(random.Random(11), 24, 84, k=3)),
+    ]
+    rows = []
+    speedups = []
+    for name, formula in instances:
+        n = formula.num_vars
+        family = ToeplitzHashFamily(n, n)
+        hashes = [family.sample(random.Random(100 + i))
+                  for i in range(BENCH_PARAMS.repetitions)]
+        for strategy in ("linear", "binary", "galloping"):
+            seed_sk, seed_t, seed_calls, seed_probes = _run(
+                formula, hashes, strategy, "seed")
+            fresh_sk, fresh_t, _fresh_calls, _ = _run(
+                formula, hashes, strategy, "fresh")
+            eng_sk, eng_t, eng_calls, eng_probes = _run(
+                formula, hashes, strategy, "engine")
+            assert seed_sk == fresh_sk == eng_sk, (
+                f"sketches diverged on {name}/{strategy}")
+            assert eng_calls <= seed_calls, (
+                f"engine must not charge more NP calls ({name}/{strategy})")
+            speedup = seed_t / eng_t
+            speedups.append((name, strategy, speedup))
+            rows.append((f"{name}/{strategy}",
+                         seed_t, fresh_t, eng_t,
+                         seed_calls, eng_calls,
+                         seed_probes / seed_t, eng_probes / eng_t,
+                         speedup))
+    return rows, speedups
+
+
+def test_e23_incremental_engine(benchmark, capsys):
+    rows, speedups = run_comparison()
+    table = format_table(
+        "E23  Incremental cell-search engine vs fresh-solver BoundedSAT "
+        "(identical sketches)",
+        ["instance/strategy", "seed s", "fresh s", "engine s",
+         "seed calls", "engine calls", "seed probes/s", "engine probes/s",
+         "speedup"],
+        rows,
+    )
+    table += ("\n\nseed = fresh solver + restart enumeration per probe "
+              "(pre-engine behaviour); fresh = one-shot path today; "
+              "engine = shared solver, assumption levels, model cache.\n"
+              "headline: engine >= 3x over the seed baseline on CNF level "
+              "search.")
+    emit(capsys, "e23_incremental", table)
+
+    by_strategy = {}
+    for _name, strategy, speedup in speedups:
+        by_strategy.setdefault(strategy, []).append(speedup)
+    for strategy, values in by_strategy.items():
+        mean = sum(values) / len(values)
+        assert mean > 1.5, f"{strategy}: engine should win ({mean:.2f}x)"
+    overall = sum(s for _, _, s in speedups) / len(speedups)
+    assert overall >= 2.0, (
+        f"engine should win clearly overall, got {overall:.2f}x")
+    # Headline acceptance: >= 3x on the random 3-CNF instances (the
+    # realistic regime; the fixed-count instances are XOR-dominated and
+    # bound by parity reasoning, not by solver rebuilds).
+    headline = [s for name, _, s in speedups if name.startswith("rand")]
+    headline_mean = sum(headline) / len(headline)
+    assert headline_mean >= 3.0, (
+        f"engine must be >= 3x over the seed baseline on CNF level "
+        f"search, got {headline_mean:.2f}x")
+
+    formula = fixed_count_cnf(16, 14)
+    family = ToeplitzHashFamily(16, 16)
+    hashes = [family.sample(random.Random(100 + i))
+              for i in range(BENCH_PARAMS.repetitions)]
+    benchmark(lambda: approx_mc(formula, BENCH_PARAMS, random.Random(7),
+                                search="galloping", hashes=hashes))

@@ -1,0 +1,29 @@
+"""Repository-wide pytest configuration.
+
+Tier-1 (``python -m pytest -x -q``) must stay under a few minutes; the
+handful of multi-minute end-to-end tests carry ``@pytest.mark.slow`` and
+are skipped unless ``--runslow`` is given (see ROADMAP.md).
+"""
+
+import os
+import sys
+
+import pytest
+
+# Make `import repro` work without an installed package or PYTHONPATH.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="also run tests marked @pytest.mark.slow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -16,6 +16,13 @@ Three level-search strategies are provided (benchmark E8's ablation):
   that wins when the final level is small.
 
 All strategies produce identical sketches for the same hash functions.
+
+Probes go through :class:`repro.core.cell_search.CellSearch`: per-level
+counts are memoised within a repetition (no level is ever paid for twice,
+matching Proposition 1's accounting) and, on the default incremental CNF
+engine, all probes of a repetition share one persistent solver whose
+enumerated models seed deeper levels.  ``incremental=False`` restores the
+fresh-solver-per-probe baseline that benchmark E23 measures against.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from typing import List, Literal, Optional, Sequence, Union
 from repro.common.errors import InvalidParameterError
 from repro.common.rng import RandomSource
 from repro.common.stats import median
-from repro.core.bounded_sat import bounded_sat
+from repro.core.cell_search import CellSearch, cell_search_for
 from repro.core.results import CountResult
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
@@ -38,63 +45,64 @@ Formula = Union[CnfFormula, DnfFormula]
 SearchStrategy = Literal["linear", "binary", "galloping"]
 
 
-def _cell_count(formula: Formula, h: LinearHash, m: int, thresh: int,
-                oracle: Optional[NpOracle]) -> int:
-    """``min(thresh, |cell at level m|)`` via BoundedSAT."""
-    return len(bounded_sat(formula, h, m, thresh, oracle=oracle))
-
-
-def _find_level_linear(formula, h, thresh, oracle) -> tuple[int, int]:
+def _find_level_linear(cells: CellSearch) -> tuple[int, int]:
     """Algorithm 5's loop: raise m until the cell is small."""
-    n = h.out_bits
+    n = cells.out_bits
     m = 0
-    count = _cell_count(formula, h, m, thresh, oracle)
-    while count >= thresh and m < n:
+    count = cells.cell_count(0)
+    while count >= cells.thresh and m < n:
         m += 1
-        count = _cell_count(formula, h, m, thresh, oracle)
+        count = cells.cell_count(m)
     return count, m
 
 
-def _find_level_binary(formula, h, thresh, oracle) -> tuple[int, int]:
+def _find_level_binary(cells: CellSearch) -> tuple[int, int]:
     """Binary search for the unique threshold crossing."""
-    n = h.out_bits
-    if _cell_count(formula, h, 0, thresh, oracle) < thresh:
-        return _cell_count(formula, h, 0, thresh, oracle), 0
+    n = cells.out_bits
+    count0 = cells.cell_count(0)
+    if count0 < cells.thresh:
+        return count0, 0
     lo, hi = 0, n  # Invariant: count(lo) >= thresh; answer in (lo, hi].
+    count_hi = cells.thresh  # Placeholder until hi is actually probed.
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        if _cell_count(formula, h, mid, thresh, oracle) >= thresh:
+        count_mid = cells.cell_count(mid)
+        if count_mid >= cells.thresh:
             lo = mid
         else:
-            hi = mid
-    count = _cell_count(formula, h, hi, thresh, oracle)
-    return count, hi
+            hi, count_hi = mid, count_mid
+    if hi == n and count_hi >= cells.thresh:
+        count_hi = cells.cell_count(n)  # hi was never probed (count(n) case).
+    return count_hi, hi
 
 
-def _find_level_galloping(formula, h, thresh, oracle) -> tuple[int, int]:
+def _find_level_galloping(cells: CellSearch) -> tuple[int, int]:
     """Doubling probe then binary refinement."""
-    n = h.out_bits
-    if _cell_count(formula, h, 0, thresh, oracle) < thresh:
-        return _cell_count(formula, h, 0, thresh, oracle), 0
+    n = cells.out_bits
+    count0 = cells.cell_count(0)
+    if count0 < cells.thresh:
+        return count0, 0
     step = 1
     lo = 0
     while True:
         probe = min(lo + step, n)
-        if _cell_count(formula, h, probe, thresh, oracle) >= thresh:
+        count_probe = cells.cell_count(probe)
+        if count_probe >= cells.thresh:
             lo = probe
             if probe == n:
-                return _cell_count(formula, h, n, thresh, oracle), n
+                return count_probe, n
             step *= 2
         else:
-            hi = probe
+            hi, count_hi = probe, count_probe
             break
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        if _cell_count(formula, h, mid, thresh, oracle) >= thresh:
+        count_mid = cells.cell_count(mid)
+        if count_mid >= cells.thresh:
             lo = mid
         else:
-            hi = mid
-    return _cell_count(formula, h, hi, thresh, oracle), hi
+            hi, count_hi = mid, count_mid
+    return count_hi, hi
 
 
 _STRATEGIES = {
@@ -110,13 +118,16 @@ def approx_mc(
     rng: RandomSource,
     search: SearchStrategy = "linear",
     hashes: Optional[Sequence[LinearHash]] = None,
+    incremental: bool = True,
 ) -> CountResult:
     """Run ApproxMC; see module docstring.
 
     ``hashes`` overrides the sampled hash functions (the sketch-equivalence
     experiment feeds the same functions to the streaming side).  For CNF a
     fresh :class:`NpOracle` is created and its call count reported; DNF runs
-    entirely in polynomial time (``oracle_calls == 0``).
+    entirely in polynomial time (``oracle_calls == 0``).  ``incremental``
+    selects between the shared-solver engine and the fresh-solver baseline
+    on the CNF path (identical estimates either way).
     """
     if search not in _STRATEGIES:
         raise InvalidParameterError(f"unknown search strategy {search!r}")
@@ -135,7 +146,9 @@ def approx_mc(
     raw: List[float] = []
     sketches = []
     for i in range(reps):
-        count, level = find_level(formula, hashes[i], thresh, oracle)
+        cells = cell_search_for(formula, hashes[i], thresh, oracle=oracle,
+                                incremental=incremental)
+        count, level = find_level(cells)
         raw.append(count * float(1 << level))
         sketches.append((count, level))
 

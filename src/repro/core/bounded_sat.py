@@ -11,6 +11,14 @@ solutions:
   term contributes at most ``p`` fresh elements plus at most ``p`` already-
   seen ones before the cap fires, giving ``O(n^3 k p)`` arithmetic in line
   with the paper.
+
+This module is the *one-shot* API: every CNF call opens a fresh solver
+session and enumerates the cell from scratch.  That is the right shape for
+isolated probes (external callers, the DNF path, single cells), but level
+search issues many probes against nested cells of one hash -- those go
+through :mod:`repro.core.cell_search`, which keeps one solver per
+repetition and reuses enumerated models across levels (see DESIGN.md,
+"Incremental cell search").
 """
 
 from __future__ import annotations

@@ -11,9 +11,11 @@ of ``h(Sol(phi))``.
   the two agree.
 
 * **CNF** (``O(p * m)`` NP-oracle calls): hash output variables
-  ``y_r == h(x)_r`` are attached to the solver; the lexicographically
-  smallest value extending a fixed prefix is found by greedy bit descent on
-  assumptions, and successors by the proof's rightmost-zero scan.
+  ``y_r == h(x)_r`` are attached to the solver once, through the same
+  :class:`~repro.core.cell_search.HashedSession` substrate the incremental
+  cell-search engine uses; the lexicographically smallest value extending
+  a fixed prefix is found by greedy bit descent on assumptions, and
+  successors by the proof's rightmost-zero scan.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ import heapq
 from typing import Iterator, List, Optional, Union
 
 from repro.common.errors import InvalidParameterError
+from repro.core.cell_search import HashedSession
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula, DnfTerm
 from repro.gf2.affine import AffineSubspace
@@ -142,14 +145,21 @@ def _smallest_extending_cnf(session: OracleSession, y_vars: List[int],
     return bits
 
 
-def find_min_cnf(oracle: NpOracle, h: LinearHash, p: int) -> List[int]:
-    """CNF FindMin through ``O(p * m)`` oracle calls (Proposition 2)."""
+def find_min_cnf(oracle: NpOracle, h: LinearHash, p: int,
+                 hashed: Optional[HashedSession] = None) -> List[int]:
+    """CNF FindMin through ``O(p * m)`` oracle calls (Proposition 2).
+
+    ``hashed`` supplies an existing :class:`HashedSession` (hash outputs
+    already attached); by default a fresh one is opened on ``oracle``.
+    """
     if p < 0:
         raise InvalidParameterError("p must be non-negative")
     if p == 0:
         return []
-    session = oracle.session()
-    y_vars = session.attach_hash(h)
+    if hashed is None:
+        hashed = HashedSession(oracle, h)
+    session = hashed.session
+    y_vars = hashed.y_vars
     m = h.out_bits
 
     def bits_to_value(bits: List[int]) -> int:
@@ -176,10 +186,11 @@ def find_min_cnf(oracle: NpOracle, h: LinearHash, p: int) -> List[int]:
 
 
 def find_min(formula: Formula, h: LinearHash, p: int,
-             oracle: Optional[NpOracle] = None) -> List[int]:
+             oracle: Optional[NpOracle] = None,
+             hashed: Optional[HashedSession] = None) -> List[int]:
     """Dispatch FindMin on the formula representation."""
     if isinstance(formula, DnfFormula):
         return find_min_dnf(formula, h, p)
     if oracle is None:
         raise InvalidParameterError("find_min on CNF requires an NpOracle")
-    return find_min_cnf(oracle, h, p)
+    return find_min_cnf(oracle, h, p, hashed=hashed)

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Union
 from repro.common.errors import InvalidParameterError
 from repro.common.rng import RandomSource
 from repro.common.stats import median
+from repro.core.cell_search import HashedSession
 from repro.core.find_min import find_min
 from repro.core.results import CountResult
 from repro.formulas.cnf import CnfFormula
@@ -68,7 +69,13 @@ def approx_model_count_min(
     raw: List[float] = []
     sketches = []
     for i in range(reps):
-        values = find_min(formula, hashes[i], thresh, oracle=oracle)
+        # One hashed session per repetition: FindMin's whole prefix search
+        # runs on assumptions against a single solver (same substrate as
+        # the cell-search engine).
+        hashed = (HashedSession(oracle, hashes[i])
+                  if oracle is not None else None)
+        values = find_min(formula, hashes[i], thresh, oracle=oracle,
+                          hashed=hashed)
         raw.append(estimate_from_min_sketch(values, thresh,
                                             hashes[i].out_bits))
         sketches.append(tuple(values))

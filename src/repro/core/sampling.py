@@ -8,11 +8,15 @@ core idea, built from the same BoundedSAT primitive as ApproxMC):
 
 1. Obtain a rough count estimate (one cheap ApproxMC pass).
 2. Choose a level ``m`` so the expected cell holds ``~pivot`` solutions.
-3. Draw a fresh hash and a *uniform random* cell target ``alpha``;
-   enumerate ``Sol(phi and h_m(x) = alpha)`` with a cap.
-4. If the cell is non-empty and under the cap, output a uniform member;
-   otherwise redraw (adjusting ``m`` when cells are persistently too big
-   or too empty).
+3. Draw a fresh hash and a *uniform random* full-width target ``alpha``;
+   enumerate ``Sol(phi and h_m(x) = alpha_m)`` with a cap.
+4. If the cell is non-empty and under the cap, output a uniform member.
+   An over-full cell is *refined in place*: the level is deepened within
+   the same :class:`~repro.core.cell_search.CellSearchEngine`, so the
+   models already enumerated (all members of the prefix cell) seed the
+   sub-cell count and no solver is rebuilt -- the UniGen2-style
+   conditional subdivision.  An empty cell redraws a fresh hash at a
+   shallower level.
 
 Each accepted draw is uniform *within its cell*; 2-wise independent cell
 partitions make the cell sizes concentrate, which is what bounds the
@@ -28,7 +32,7 @@ from typing import List, Optional, Union
 from repro.common.errors import InvalidParameterError, UnsatisfiableError
 from repro.common.rng import RandomSource
 from repro.core.approxmc import approx_mc
-from repro.core.bounded_sat import bounded_sat
+from repro.core.cell_search import cell_search_for
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.toeplitz import ToeplitzHashFamily
@@ -66,16 +70,22 @@ class SolutionSampler:
 
     def sample(self) -> int:
         """One near-uniform solution."""
+        n = self.formula.num_vars
         level = self.level
         cap = 4 * self.pivot
         for _attempt in range(self.max_attempts):
             h = self._family.sample(self.rng)
-            target = self.rng.getrandbits(level) if level else 0
-            cell = bounded_sat(self.formula, h, level, cap,
-                               oracle=self.oracle, target=target)
+            target = self.rng.getrandbits(h.out_bits)
+            cells = cell_search_for(self.formula, h, cap, oracle=self.oracle,
+                                    target=target)
+            cell = cells.models(level, cap)
+            # Refine an over-full cell in place: deeper levels reuse the
+            # engine's cached models and persistent blocking clauses.
+            while len(cell) >= cap and level < n:
+                level += 1
+                cell = cells.models(level, cap)
             if len(cell) >= cap:
-                level = min(level + 1, self.formula.num_vars)
-                continue
+                continue  # Over-full even at level n; try a fresh hash.
             if not cell:
                 level = max(level - 1, 0)
                 continue

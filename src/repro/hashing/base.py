@@ -24,6 +24,22 @@ from typing import List, Protocol, Sequence, Tuple, runtime_checkable
 from repro.common.bitvec import trailing_zeros
 from repro.common.rng import RandomSource
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+
+def _parity_u64(a):
+    """Per-element parity of a uint64 numpy array (bit-packed popcount)."""
+    a = a ^ (a >> _np.uint64(32))
+    a = a ^ (a >> _np.uint64(16))
+    a = a ^ (a >> _np.uint64(8))
+    a = a ^ (a >> _np.uint64(4))
+    a = a ^ (a >> _np.uint64(2))
+    a = a ^ (a >> _np.uint64(1))
+    return (a & _np.uint64(1)).astype(_np.uint64)
+
 
 def cell_level(value: int, out_bits: int) -> int:
     """Number of leading zero rows: the deepest level ``m`` such that the
@@ -130,6 +146,51 @@ class LinearHash:
     def cell_level(self, x: int) -> int:
         """Largest ``m`` with ``h_m(x) = 0^m`` (leading zero rows)."""
         return cell_level(self.value(x), self.out_bits)
+
+    def _batchable(self) -> bool:
+        """Whether the numpy bit-packed path applies (inputs fit uint64)."""
+        return _np is not None and self.in_bits <= 64
+
+    def values_batch(self, xs) -> "object":
+        """Vectorised :meth:`value` over a numpy array of inputs.
+
+        Requires ``out_bits <= 64`` (values are returned as uint64, row 0
+        at the MSB of the ``out_bits``-wide value, same convention as the
+        scalar path).  Falls back to a python loop without numpy.
+        """
+        if self.out_bits > 64:
+            raise ValueError("values_batch requires out_bits <= 64")
+        if not self._batchable():
+            return [self.value(int(x)) for x in xs]
+        xs = _np.asarray(xs, dtype=_np.uint64)
+        out = _np.zeros(xs.shape, dtype=_np.uint64)
+        mbits = self.out_bits
+        for r, row in enumerate(self.rows):
+            bits = _parity_u64(xs & _np.uint64(row))
+            if self.offsets[r]:
+                bits ^= _np.uint64(1)
+            out |= bits << _np.uint64(mbits - 1 - r)
+        return out
+
+    def cell_levels_batch(self, xs) -> "object":
+        """Vectorised :meth:`cell_level`: per-element count of leading
+        hash rows equal to zero (numpy uint64 in, int64 array out)."""
+        if not self._batchable():
+            return [self.cell_level(int(x)) for x in xs]
+        xs = _np.asarray(xs, dtype=_np.uint64)
+        m = self.out_bits
+        levels = _np.full(xs.shape, m, dtype=_np.int64)
+        undecided = _np.ones(xs.shape, dtype=bool)
+        for r, row in enumerate(self.rows):
+            if not undecided.any():
+                break
+            bits = _parity_u64(xs & _np.uint64(row))
+            if self.offsets[r]:
+                bits ^= _np.uint64(1)
+            hit = undecided & (bits == _np.uint64(1))
+            levels[hit] = r
+            undecided &= ~hit
+        return levels
 
     def in_cell(self, x: int, m: int) -> bool:
         """Bucketing membership test ``h_m(x) == 0^m``."""

@@ -11,8 +11,14 @@ constrain a *non-linear* (s-wise polynomial) hash of the solution --
 ``exists x |= phi with TrailZero(h(x)) >= t`` (Proposition 3).  For linear
 hashes :class:`NpOracle` answers through XOR constraints; for polynomial
 hashes :class:`EnumerationOracle` answers the same queries by witness
-enumeration, preserving the query-count semantics (see DESIGN.md,
-substitution table).
+enumeration, preserving the query-count semantics (see DESIGN.md, section
+"Oracle substitution table").
+
+Repeated BoundedSAT probes against nested cells of one hash should not go
+through one-shot sessions: :meth:`NpOracle.cell_search` opens the
+incremental :class:`~repro.core.cell_search.CellSearchEngine`, which
+shares a single session across all levels (DESIGN.md, section
+"Incremental cell search").
 """
 
 from __future__ import annotations
@@ -59,6 +65,23 @@ class OracleSession:
         self._model = self._solver.model_int() if sat else None
         return sat
 
+    def next_model(self) -> bool:
+        """Block the current model and continue the search in place (one
+        NP-oracle call -- Proposition 1 charges enumeration per decision,
+        however the solver implements it).
+
+        Must directly follow a successful :meth:`solve` / `next_model`;
+        the same assumptions stay in force.  Cheaper than a fresh
+        :meth:`solve` because the descent is not restarted (see
+        :meth:`CdclSolver.resume_after_block`).
+        """
+        if self._model is None:
+            raise InvalidParameterError("no model to continue from")
+        self._oracle.calls += 1
+        sat = self._solver.resume_after_block()
+        self._model = self._solver.model_int() if sat else None
+        return sat
+
     def model_int(self) -> int:
         """The model of the last successful :meth:`solve`."""
         if self._model is None:
@@ -80,20 +103,38 @@ class OracleSession:
                   for v in range(1, num_vars + 1)]
         self._solver.add_clause(clause)
 
+    def block_current_model(self) -> None:
+        """Exclude the model of the last successful :meth:`solve` via the
+        *generalised* blocking clause over its decision literals only.
+
+        Propagation soundness makes the short clause exclude exactly that
+        one model (see :meth:`CdclSolver.decision_literals`), and shorter
+        clauses keep long-lived enumeration sessions fast.  Must be called
+        before the solver state changes (next solve / added clause).
+        """
+        if self._model is None:
+            raise InvalidParameterError("no model available")
+        decisions = self._solver.decision_literals()
+        self._solver.add_clause([-d for d in decisions])
+
+    def new_output_var(self, mask: int, offset: int) -> int:
+        """Introduce a fresh variable ``y`` with ``y == parity(mask & x)
+        xor offset`` (one hash output row)."""
+        y = self._solver.new_var()
+        self._solver.add_xor(mask | (1 << (y - 1)), offset)
+        return y
+
     def attach_hash(self, h: LinearHash) -> List[int]:
         """Introduce output variables ``y_r == h(x)_r``.
 
         Returns the 1-indexed variable numbers ``[y_0, ..., y_{m-1}]``
         (row 0 first).  FindMin's prefix search then runs entirely on
-        assumptions over these variables.
+        assumptions over these variables.  Callers that only ever assume a
+        prefix (the cell-search engine) attach rows lazily through
+        :meth:`new_output_var` instead.
         """
-        y_vars = []
-        for r in range(h.out_bits):
-            y = self._solver.new_var()
-            y_vars.append(y)
-            mask = h.rows[r] | (1 << (y - 1))
-            self._solver.add_xor(mask, h.offsets[r])
-        return y_vars
+        return [self.new_output_var(h.rows[r], h.offsets[r])
+                for r in range(h.out_bits)]
 
 
 class NpOracle:
@@ -107,6 +148,14 @@ class NpOracle:
     def session(self, xors: Iterable[XorConstraint] = ()) -> OracleSession:
         """Open an incremental context (formula + fixed XOR constraints)."""
         return OracleSession(self, xors)
+
+    def cell_search(self, h: LinearHash, thresh: int, target: int = 0):
+        """Open an incremental cell-search engine over this oracle: one
+        persistent session whose level probes run on assumptions and whose
+        enumerated models are cached across levels (Proposition 1's probes
+        without per-probe solver rebuilds)."""
+        from repro.core.cell_search import CellSearchEngine
+        return CellSearchEngine(self.formula, h, thresh, self, target)
 
     def is_satisfiable(self, xors: Iterable[XorConstraint] = (),
                        assumptions: Sequence[int] = ()) -> bool:
@@ -132,14 +181,17 @@ class NpOracle:
         (the final UNSAT certificate), matching Proposition 1's
         ``O(p)``-calls accounting for BoundedSAT.
         """
+        if limit is not None and limit <= 0:
+            return []
         session = self.session(xors)
         models: List[int] = []
-        while limit is None or len(models) < limit:
-            if not session.solve():
+        mask = (1 << self.formula.num_vars) - 1
+        sat = session.solve()
+        while sat and (limit is None or len(models) < limit):
+            models.append(session.model_int() & mask)
+            if limit is not None and len(models) >= limit:
                 break
-            model = session.model_int() & ((1 << self.formula.num_vars) - 1)
-            models.append(model)
-            session.block_model(model, self.formula.num_vars)
+            sat = session.next_model()
         return models
 
 
@@ -147,7 +199,8 @@ class EnumerationOracle:
     """Witness-enumeration oracle for hash-constrained queries.
 
     Holds the full solution set (computed once, *not* counted -- this is
-    the simulation substitute documented in DESIGN.md) and answers
+    the simulation substitute documented in DESIGN.md, section "Oracle
+    substitution table") and answers
     Proposition 3 queries for arbitrary hash functions, counting one call
     per query exactly like a real NP oracle would be charged.
     """

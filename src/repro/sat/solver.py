@@ -52,6 +52,8 @@ class SolverStats:
     conflicts: int = 0
     restarts: int = 0
     learned_clauses: int = 0
+    deleted_clauses: int = 0
+    db_reductions: int = 0
     solve_calls: int = 0
 
 
@@ -73,6 +75,12 @@ class CdclSolver:
     RESTART_BASE = 100
     ACTIVITY_DECAY = 0.95
     ACTIVITY_RESCALE = 1e100
+    CLAUSE_DECAY = 0.999
+    #: Learned-clause budget before a DB reduction, and its growth factor.
+    #: Long-lived solvers (the incremental cell-search engine keeps one per
+    #: repetition) would otherwise accumulate unbounded watch lists.
+    LEARNT_BASE = 400
+    LEARNT_GROWTH = 1.2
 
     def __init__(self, num_vars: int = 0) -> None:
         self.num_vars = 0
@@ -89,10 +97,27 @@ class CdclSolver:
         self._clauses: List[List[int]] = []
         # XOR rows: (mask over 0-indexed vars, rhs bit).
         self._xors: List[Tuple[int, int]] = []
+        # 2-watched-variable XOR propagation: per-row variable lists, the
+        # two watched variables per row, per-variable watcher lists, and
+        # the trail position up to which watchers have been notified.  A
+        # row only needs re-evaluation when a *watched* variable is
+        # assigned and no unassigned replacement exists -- the same lazy
+        # invariant as clause watching, applied to parity rows.
+        self._xor_vars: List[List[int]] = []
+        self._xor_watch: List[List[int]] = []
+        self._xor_watchers: List[List[int]] = []
+        self._xor_qhead = 0
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
         self._var_inc = 1.0
+        self._assumed: List[int] = []
+        # Learned-clause database: the clauses themselves (also present in
+        # _clauses for watching) plus per-clause activities keyed by id().
+        self._learnts: List[List[int]] = []
+        self._learnt_activity: Dict[int, float] = {}
+        self._cla_inc = 1.0
+        self._max_learnts = self.LEARNT_BASE
         self.stats = SolverStats()
         for _ in range(num_vars):
             self.new_var()
@@ -122,6 +147,7 @@ class CdclSolver:
         self._saved_phase.append(0)
         self._watches.append([])
         self._watches.append([])
+        self._xor_watchers.append([])
         return self.num_vars
 
     def ensure_vars(self, num_vars: int) -> None:
@@ -186,7 +212,30 @@ class CdclSolver:
                 return False
             return True
         self.ensure_vars(mask.bit_length())
+        idx = len(self._xors)
+        variables = []
+        m = mask
+        while m:
+            variables.append((m & -m).bit_length() - 1)
+            m &= m - 1
         self._xors.append((mask, rhs))
+        self._xor_vars.append(variables)
+        unassigned = [v for v in variables
+                      if self._assigns[v] == _UNASSIGNED]
+        assigned = [v for v in variables
+                    if self._assigns[v] != _UNASSIGNED]
+        watch = (unassigned + assigned)[:2]
+        self._xor_watch.append(watch)
+        if len(watch) == 2:
+            self._xor_watchers[watch[0]].append(idx)
+            self._xor_watchers[watch[1]].append(idx)
+        if len(unassigned) <= 1:
+            # Determined (or unit) already at root: evaluate right away.
+            if self._eval_xor_row(idx) is not None \
+                    or self._propagate() is not None:
+                self.ok = False
+                return False
+            return True
         # Root-level propagation opportunity.
         if self._propagate() is not None:
             self.ok = False
@@ -206,8 +255,11 @@ class CdclSolver:
         self.stats.solve_calls += 1
         if not self.ok:
             return False
+        # Root-level fixpoint is an invariant: add_clause/add_xor propagate
+        # eagerly, and _backtrack_to clamps the queue heads, so no root
+        # re-propagation is needed here (long-lived incremental sessions
+        # accumulate large root trails).
         self._backtrack_to(0)
-        self._qhead = 0
         if self._propagate() is not None:
             self.ok = False
             return False
@@ -215,7 +267,53 @@ class CdclSolver:
         for lit in assumed:
             if (lit >> 1) >= self.num_vars:
                 raise InvalidParameterError("assumption on unknown variable")
+        self._assumed = assumed
+        return self._search()
 
+    def resume_after_block(self) -> bool:
+        """Exclude the current model and continue the search *in place*.
+
+        Must directly follow a successful :meth:`solve` (or a previous
+        successful resume) with the trail untouched.  The current model is
+        excluded via the generalised blocking clause over its decision
+        literals; instead of restarting the descent, the search backtracks
+        only to the level where that clause becomes unit and carries on --
+        the enumeration-by-continuation that makes BoundedSAT's ``p``
+        solutions cost far less than ``p`` full solves.  Returns True with
+        the next model assigned, or False when the space (under the same
+        assumptions) is exhausted.
+        """
+        self.stats.solve_calls += 1
+        if not self.ok:
+            return False
+        decisions = self._decision_internal_lits()
+        if not decisions:
+            # The model was forced at root level: blocking it empties the
+            # solution space outright.
+            self.ok = False
+            return False
+        clause = [lit ^ 1 for lit in decisions]
+        if len(clause) == 1:
+            self._backtrack_to(0)
+            self._enqueue(clause[0], None)
+            if self._propagate() is not None:
+                self.ok = False
+                return False
+            return self._search()
+        # Order by decision level, deepest first: backtracking to the
+        # second-deepest level leaves exactly clause[0] unassigned, so the
+        # new clause is unit and redirects the search.
+        clause.sort(key=lambda lit: self._level[lit >> 1], reverse=True)
+        self._clauses.append(clause)
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+        self._backtrack_to(self._level[clause[1] >> 1])
+        self._enqueue(clause[0], clause)
+        return self._search()
+
+    def _search(self) -> bool:
+        """The CDCL main loop under ``self._assumed``."""
+        assumed = self._assumed
         conflicts_this_restart = 0
         restart_number = 1
         limit = self.RESTART_BASE * _luby(restart_number)
@@ -232,6 +330,8 @@ class CdclSolver:
                 self._backtrack_to(backtrack_level)
                 self._attach_learnt(learnt)
                 self._decay_activity()
+                if len(self._learnts) > self._max_learnts:
+                    self._reduce_learnts()
                 continue
 
             if conflicts_this_restart >= limit:
@@ -276,6 +376,32 @@ class CdclSolver:
         """Current value of a variable (None if unassigned)."""
         a = self._assigns[var - 1]
         return None if a == _UNASSIGNED else bool(a)
+
+    def _decision_internal_lits(self) -> List[int]:
+        """Internal literals of the current decisions (assumptions
+        included), deduplicated -- dummy levels for already-satisfied
+        assumptions repeat the following decision."""
+        out = []
+        seen = set()
+        for boundary in self._trail_lim:
+            if boundary >= len(self._trail):
+                break
+            lit = self._trail[boundary]
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        return out
+
+    def decision_literals(self) -> List[int]:
+        """The DIMACS decision literals (assumptions included) of the
+        current assignment.
+
+        Directly after a successful :meth:`solve`, negating these yields a
+        *generalised* blocking clause: propagation is sound, so every
+        solution extending the decisions equals the current model, and the
+        short clause excludes exactly that model.
+        """
+        return [_lit_dimacs(lit) for lit in self._decision_internal_lits()]
 
     # ------------------------------------------------------------------
     # Internals: assignment & propagation
@@ -349,42 +475,81 @@ class CdclSolver:
                 i += 1
         return None
 
-    def _propagate_xors(self):
-        """Scan XOR rows for units/conflicts.
+    def _eval_xor_row(self, idx: int):
+        """Evaluate one parity row known to have <= 1 unassigned variable.
 
-        Returns None (nothing to do), True (enqueued an implication) or a
-        conflict clause.  Lazily materialises reason clauses from parity
-        rows -- the native-XOR trick that avoids CNF expansion.
+        Returns a conflict clause, or None after enqueueing the implied
+        literal (unit case) / verifying the row (determined case).
         """
-        for mask, rhs in self._xors:
-            parity = 0
-            unassigned_var = -1
-            unassigned_count = 0
-            m = mask
-            while m:
-                v = (m & -m).bit_length() - 1
-                m &= m - 1
-                a = self._assigns[v]
-                if a == _UNASSIGNED:
-                    unassigned_count += 1
-                    if unassigned_count > 1:
-                        break
-                    unassigned_var = v
-                else:
-                    parity ^= a
-            if unassigned_count > 1:
-                continue
-            if unassigned_count == 0:
-                if parity != rhs:
-                    return self._xor_clause(mask, exclude=-1)
-                continue
-            implied_value = parity ^ rhs
-            lit = 2 * unassigned_var + (0 if implied_value else 1)
-            reason = self._xor_clause(mask, exclude=unassigned_var)
-            reason.insert(0, lit)
-            self._enqueue(lit, reason)
-            return True
+        assigns = self._assigns
+        parity = 0
+        unassigned_var = -1
+        for v in self._xor_vars[idx]:
+            a = assigns[v]
+            if a == _UNASSIGNED:
+                if unassigned_var >= 0:
+                    return None  # A watcher raced ahead; row not unit.
+                unassigned_var = v
+            else:
+                parity ^= a
+        mask, rhs = self._xors[idx]
+        if unassigned_var < 0:
+            if parity != rhs:
+                return self._xor_clause(mask, exclude=-1)
+            return None
+        implied_value = parity ^ rhs
+        lit = 2 * unassigned_var + (0 if implied_value else 1)
+        reason = self._xor_clause(mask, exclude=unassigned_var)
+        reason.insert(0, lit)
+        self._enqueue(lit, reason)
         return None
+
+    def _propagate_xors(self):
+        """Watched-variable parity propagation.
+
+        Returns None (no new implications), True (enqueued at least one
+        implication; run clause propagation next) or a conflict clause.
+        Each row watches two of its variables; when a watched variable is
+        assigned, the watch moves to an unassigned replacement if one
+        exists, otherwise the row has become unit or determined and is
+        evaluated (lazily materialising the reason clause -- the
+        native-XOR trick that avoids CNF expansion).  Watches are not
+        restored on backtracking; the invariant "both watches unassigned
+        or the row was evaluated" survives because unassignment only
+        relaxes rows.
+        """
+        enqueued = False
+        assigns = self._assigns
+        while self._xor_qhead < len(self._trail):
+            v = self._trail[self._xor_qhead] >> 1
+            self._xor_qhead += 1
+            watchers = self._xor_watchers[v]
+            i = 0
+            while i < len(watchers):
+                idx = watchers[i]
+                watch = self._xor_watch[idx]
+                other = watch[1] if watch[0] == v else watch[0]
+                replaced = False
+                for u in self._xor_vars[idx]:
+                    if u != other and assigns[u] == _UNASSIGNED:
+                        watch[0] = u
+                        watch[1] = other
+                        self._xor_watchers[u].append(idx)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                conflict = self._eval_xor_row(idx)
+                if conflict is not None:
+                    # Rewind so this variable's remaining watchers are
+                    # re-examined after the conflict is resolved.
+                    self._xor_qhead -= 1
+                    return conflict
+                enqueued = True
+                i += 1
+        return True if enqueued else None
 
     def _xor_clause(self, mask: int, exclude: int) -> List[int]:
         """Clause of currently-false literals over the row's assigned vars."""
@@ -415,6 +580,7 @@ class CdclSolver:
         trail_idx = len(self._trail) - 1
 
         while True:
+            self._bump_clause(reason_lits)
             start = 0 if p is None else 1
             for q in reason_lits[start:]:
                 v = q >> 1
@@ -458,7 +624,55 @@ class CdclSolver:
         self._clauses.append(learnt)
         self._watches[learnt[0]].append(learnt)
         self._watches[learnt[1]].append(learnt)
+        self._learnts.append(learnt)
+        self._learnt_activity[id(learnt)] = self._cla_inc
         self._enqueue(learnt[0], learnt)
+
+    def _bump_clause(self, clause: List[int]) -> None:
+        key = id(clause)
+        activity = self._learnt_activity.get(key)
+        if activity is None:
+            return  # Original clause: not subject to deletion.
+        activity += self._cla_inc
+        self._learnt_activity[key] = activity
+        if activity > self.ACTIVITY_RESCALE:
+            scale = 1.0 / self.ACTIVITY_RESCALE
+            for k in self._learnt_activity:
+                self._learnt_activity[k] *= scale
+            self._cla_inc *= scale
+
+    def _reduce_learnts(self) -> None:
+        """Drop the less-active half of the learned-clause database.
+
+        Keeps binary clauses and clauses currently locked as reasons; the
+        budget then grows geometrically so reductions stay amortised.  This
+        is what keeps long-lived incremental sessions (one solver across a
+        whole level search) from drowning in stale watch lists.
+        """
+        self.stats.db_reductions += 1
+        locked = {id(reason) for reason in self._reason if reason is not None}
+        by_activity = sorted(
+            self._learnts, key=lambda c: self._learnt_activity[id(c)])
+        drop = set()
+        budget = len(self._learnts) // 2
+        for clause in by_activity:
+            if len(drop) >= budget:
+                break
+            if len(clause) <= 2 or id(clause) in locked:
+                continue
+            drop.add(id(clause))
+        if drop:
+            self.stats.deleted_clauses += len(drop)
+            self._learnts = [c for c in self._learnts if id(c) not in drop]
+            self._clauses = [c for c in self._clauses if id(c) not in drop]
+            for lit in range(2 * self.num_vars):
+                watch_list = self._watches[lit]
+                if watch_list:
+                    self._watches[lit] = [c for c in watch_list
+                                          if id(c) not in drop]
+            for key in drop:
+                del self._learnt_activity[key]
+        self._max_learnts = int(self._max_learnts * self.LEARNT_GROWTH)
 
     def _backtrack_to(self, level: int) -> None:
         if self._decision_level() <= level:
@@ -472,6 +686,7 @@ class CdclSolver:
         del self._trail[boundary:]
         del self._trail_lim[level:]
         self._qhead = min(self._qhead, len(self._trail))
+        self._xor_qhead = min(self._xor_qhead, len(self._trail))
 
     # ------------------------------------------------------------------
     # Internals: heuristics
@@ -500,3 +715,4 @@ class CdclSolver:
 
     def _decay_activity(self) -> None:
         self._var_inc /= self.ACTIVITY_DECAY
+        self._cla_inc /= self.CLAUSE_DECAY

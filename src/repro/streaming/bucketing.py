@@ -26,30 +26,63 @@ from repro.streaming.base import SketchParams
 
 
 class BucketingRow:
-    """One repetition: a hash function, a level, and a bucket of elements."""
+    """One repetition: a hash function, a level, and a bucket of elements.
 
-    __slots__ = ("h", "thresh", "level", "bucket")
+    The bucket internally remembers each member's cell level (computed
+    once, on insertion), so level raises re-filter without re-hashing; the
+    batch path computes those levels vectorised for a whole stream chunk.
+    """
+
+    __slots__ = ("h", "thresh", "level", "bucket", "_levels")
 
     def __init__(self, h: LinearHash, thresh: int) -> None:
         self.h = h
         self.thresh = thresh
         self.level = 0
         self.bucket: Set[int] = set()
+        self._levels: dict = {}
+
+    def _level_of(self, x: int) -> int:
+        lvl = self._levels.get(x)
+        if lvl is None:
+            lvl = self.h.cell_level(x)
+        return lvl
 
     def process(self, x: int) -> None:
         """Insert ``x`` if it lies in the current cell; raise the level
         while the bucket violates the ``< Thresh`` invariant."""
-        if self.h.cell_level(x) < self.level:
+        lvl = self._level_of(x)
+        if lvl < self.level:
             return
+        self._levels[x] = lvl  # Only bucket members are cached.
         self.bucket.add(x)
         self._shrink()
 
+    def process_batch(self, xs) -> None:
+        """Process a chunk of stream elements with one vectorised hash
+        evaluation (numpy bit-packed ``cell_levels_batch``)."""
+        levels = self.h.cell_levels_batch(xs)
+        bucket = self.bucket
+        current = self.level
+        for x, lvl in zip(xs, levels):
+            lvl = int(lvl)
+            if lvl >= current:
+                x = int(x)
+                self._levels[x] = lvl
+                bucket.add(x)
+        self._shrink()
+
     def _shrink(self) -> None:
+        shrunk = False
         while len(self.bucket) >= self.thresh \
                 and self.level < self.h.out_bits:
             self.level += 1
+            shrunk = True
             self.bucket = {y for y in self.bucket
-                           if self.h.cell_level(y) >= self.level}
+                           if self._level_of(y) >= self.level}
+        if shrunk:
+            self._levels = {y: lvl for y, lvl in self._levels.items()
+                            if y in self.bucket}
 
     def merge(self, other: "BucketingRow") -> None:
         """Combine with a sketch built from another sub-stream using the
@@ -57,8 +90,9 @@ class BucketingRow:
         if other.h is not self.h and other.h.rows != self.h.rows:
             raise ValueError("cannot merge rows with different hashes")
         self.level = max(self.level, other.level)
+        self._levels.update(other._levels)
         merged = {y for y in self.bucket | other.bucket
-                  if self.h.cell_level(y) >= self.level}
+                  if self._level_of(y) >= self.level}
         self.bucket = merged
         self._shrink()
 
@@ -88,6 +122,12 @@ class BucketingF0:
     def process(self, x: int) -> None:
         for row in self.rows:
             row.process(x)
+
+    def process_batch(self, xs) -> None:
+        """Feed a whole stream chunk; each row evaluates its hash over the
+        chunk in one vectorised pass (see ``LinearHash.cell_levels_batch``)."""
+        for row in self.rows:
+            row.process_batch(xs)
 
     def estimate(self) -> float:
         return median([row.estimate() for row in self.rows])

@@ -163,6 +163,7 @@ class TestMinCount:
 
 
 class TestEstCount:
+    @pytest.mark.slow
     def test_cnf_guarantee_given_good_r(self):
         ok = 0
         trials = 10

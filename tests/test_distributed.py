@@ -84,7 +84,8 @@ class TestPartition:
 
 class TestProtocolAccuracy:
     @pytest.mark.parametrize("protocol", [
-        distributed_bucketing, distributed_minimum, distributed_estimation])
+        distributed_bucketing, distributed_minimum,
+        pytest.param(distributed_estimation, marks=pytest.mark.slow)])
     def test_estimate_within_tolerance_mostly(self, protocol):
         formula, sites = make_sites(seed=1)
         truth = exact_model_count(formula)

@@ -210,11 +210,13 @@ class TestSketchAccuracy:
             lambda n, rng: MinimumF0(n, TEST_PARAMS, rng))
         assert ok >= 8
 
+    @pytest.mark.slow
     def test_estimation_accuracy(self):
         ok = self._accuracy_trials(
             lambda n, rng: EstimationF0(n, TEST_PARAMS, rng))
         assert ok >= 7
 
+    @pytest.mark.slow
     def test_estimation_given_exact_r(self):
         f0 = 256
         successes = 0
