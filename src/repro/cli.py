@@ -27,10 +27,17 @@ from repro.core.sampling import sample_solutions
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dimacs import parse_dimacs_cnf, parse_dimacs_dnf
 from repro.formulas.dnf import DnfFormula
-from repro.streaming.base import SketchParams, compute_f0
+from repro.streaming.base import (
+    DEFAULT_CHUNK_SIZE,
+    SketchParams,
+    compute_f0,
+)
 from repro.streaming.bucketing import BucketingF0
 from repro.streaming.estimation import EstimationF0
+from repro.streaming.exact import ExactF0
+from repro.streaming.flajolet_martin import FlajoletMartinF0
 from repro.streaming.minimum import MinimumF0
+from repro.streaming.sharded import ShardedF0
 
 Formula = Union[CnfFormula, DnfFormula]
 
@@ -92,17 +99,26 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 
 
 def _cmd_f0(args: argparse.Namespace) -> int:
-    with open(args.items) as f:
-        items = [int(line) for line in f if line.strip()]
     rng = random.Random(args.seed)
     params = _params(args)
-    sketch_cls = {
-        "bucketing": BucketingF0,
-        "minimum": MinimumF0,
-        "estimation": EstimationF0,
-    }[args.sketch]
-    estimator = sketch_cls(args.universe_bits, params, rng)
-    print(f"{compute_f0(iter(items), estimator):.6g}")
+    if args.sketch == "exact":
+        estimator = ExactF0()
+    elif args.sketch == "fm":
+        estimator = FlajoletMartinF0(args.universe_bits, rng,
+                                     repetitions=params.repetitions)
+    else:
+        sketch_cls = {
+            "bucketing": BucketingF0,
+            "minimum": MinimumF0,
+            "estimation": EstimationF0,
+        }[args.sketch]
+        estimator = sketch_cls(args.universe_bits, params, rng)
+    if args.shards > 1:
+        estimator = ShardedF0(estimator, args.shards)
+    with open(args.items) as f:
+        items = (int(line) for line in f if line.strip())
+        value = compute_f0(items, estimator, chunk_size=args.chunk_size)
+    print(f"{value:.6g}")
     return 0
 
 
@@ -142,7 +158,14 @@ def build_parser() -> argparse.ArgumentParser:
     f0.add_argument("items", help="file with one integer item per line")
     f0.add_argument("--universe-bits", type=int, required=True)
     f0.add_argument("--sketch", default="minimum",
-                    choices=["bucketing", "minimum", "estimation"])
+                    choices=["bucketing", "minimum", "estimation",
+                             "fm", "exact"])
+    f0.add_argument("--shards", type=int, default=1,
+                    help="partition the stream across this many sketch "
+                         "replicas and merge (default 1)")
+    f0.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                    help="batch-ingestion chunk size "
+                         f"(default {DEFAULT_CHUNK_SIZE})")
     add_common(f0)
     f0.set_defaults(func=_cmd_f0)
     return parser

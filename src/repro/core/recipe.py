@@ -29,6 +29,7 @@ from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.base import LinearHash
 from repro.sat.oracle import EnumerationOracle, NpOracle
+from repro.streaming.base import chunked
 from repro.streaming.bucketing import BucketingRow
 from repro.streaming.estimation import EstimationRow
 from repro.streaming.minimum import MinimumRow
@@ -46,10 +47,15 @@ EstimationSketch = Tuple[int, ...]
 
 def bucketing_sketch_from_stream(stream: Iterable[int], h: LinearHash,
                                  thresh: int) -> BucketingSketch:
-    """Run the streaming Bucketing update rule; return (cell set, level)."""
+    """Run the streaming Bucketing update rule; return (cell set, level).
+
+    Ingestion is chunked through the row's vectorised batch path --
+    bit-identical to element-at-a-time processing (the sketch relation P1
+    depends only on the distinct-element set).
+    """
     row = BucketingRow(h, thresh)
-    for x in stream:
-        row.process(x)
+    for chunk in chunked(stream):
+        row.process_batch(chunk)
     return frozenset(row.bucket), row.level
 
 
@@ -79,10 +85,11 @@ def estimate_bucketing_sketch(sketch: BucketingSketch) -> float:
 
 def minimum_sketch_from_stream(stream: Iterable[int], h: LinearHash,
                                thresh: int) -> MinimumSketch:
-    """Thresh smallest distinct hash values seen in the stream."""
+    """Thresh smallest distinct hash values seen in the stream (chunked
+    through the vectorised batch hash path)."""
     row = MinimumRow(h, thresh)
-    for x in stream:
-        row.process(x)
+    for chunk in chunked(stream):
+        row.process_batch(chunk)
     return tuple(row.values())
 
 
@@ -100,10 +107,11 @@ def minimum_sketch_from_formula(formula: Formula, h: LinearHash,
 
 def estimation_sketch_from_stream(stream: Iterable[int],
                                   hashes: Sequence) -> EstimationSketch:
-    """Max trail-zero level per hash function over the stream."""
+    """Max trail-zero level per hash function over the stream (chunked
+    through the vectorised GF(2^n) batch evaluation)."""
     row = EstimationRow(list(hashes))
-    for x in stream:
-        row.process(x)
+    for chunk in chunked(stream):
+        row.process_batch(chunk)
     return tuple(row.maxima)
 
 

@@ -16,12 +16,11 @@ the documented enumeration substitute.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence
 
 from repro.common.errors import InvalidParameterError
 from repro.common.rng import RandomSource
 from repro.common.stats import median
-from repro.core.est_count import estimate_from_levels
 from repro.core.find_min import find_min_dnf
 from repro.core.fm_count import _max_level_dnf
 from repro.core.min_count import estimate_from_min_sketch
@@ -38,7 +37,10 @@ from repro.hashing.toeplitz import ToeplitzHashFamily
 from repro.hashing.xor import XorHashFamily
 from repro.sat.oracle import EnumerationOracle
 from repro.streaming.base import SketchParams
-from repro.streaming.estimation import independence_for_eps
+from repro.streaming.bucketing import BucketingRow
+from repro.streaming.estimation import EstimationRow, independence_for_eps
+from repro.streaming.flajolet_martin import FlajoletMartinF0
+from repro.streaming.minimum import MinimumRow
 
 
 def _check_sites(site_formulas: Sequence[DnfFormula]) -> int:
@@ -96,26 +98,21 @@ def distributed_bucketing(site_formulas: Sequence[DnfFormula],
     chosen_levels: List[int] = []
     for i in range(reps):
         h = hashes[i]
-        # Site messages: (fingerprint, cell level) per element of the
-        # site's final cell.
-        per_site: List[List[Tuple[int, int]]] = []
+        # Site messages: the site's sketch level plus one (fingerprint,
+        # cell level) tuple per element of its final cell.  The
+        # coordinator replays the streaming combine -- BucketingRow.merge
+        # over fingerprint space -- starting from the deepest site level
+        # and raising while the union cell violates ``< Thresh``.
+        coordinator = BucketingRow(None, thresh, out_bits=n)
         for formula in site_formulas:
-            cell, _level = bucketing_sketch_from_formula(formula, h, thresh)
+            cell, site_level = bucketing_sketch_from_formula(
+                formula, h, thresh)
             message = [(g.value(x), h.cell_level(x)) for x in cell]
-            channel.upload(len(message) * tuple_bits)
-            per_site.append(message)
-        # Coordinator: raise the level until the union cell is small.
-        level = max((min((lv for _fp, lv in msg), default=0)
-                     for msg in per_site), default=0)
-        while True:
-            distinct: Set[int] = set()
-            for msg in per_site:
-                distinct.update(fp for fp, lv in msg if lv >= level)
-            if len(distinct) < thresh or level >= n:
-                break
-            level += 1
-        raw_estimates.append(len(distinct) * float(1 << level))
-        chosen_levels.append(level)
+            channel.upload(len(message) * tuple_bits + level_bits(n))
+            coordinator.merge(BucketingRow.from_levelled(
+                message, thresh, out_bits=n, level=site_level))
+        raw_estimates.append(coordinator.estimate())
+        chosen_levels.append(coordinator.level)
 
     return DistributedResult(
         estimate=median(raw_estimates),
@@ -152,14 +149,17 @@ def distributed_minimum(site_formulas: Sequence[DnfFormula],
     raw_estimates: List[float] = []
     for i in range(reps):
         h = hashes[i]
-        merged: Set[int] = set()
+        # Coordinator: one streaming row fed with each site's sketch via
+        # the bulk path -- a single dedupe + partial-select per message
+        # instead of O(Thresh log Thresh) heap churn per site.
+        coordinator = MinimumRow(h, thresh)
         for formula in site_formulas:
             values = find_min_dnf(formula, h, thresh)
             channel.upload(len(values) * value_bits)
-            merged.update(values)
-        kept = sorted(merged)[:thresh]
+            coordinator.insert_values(values)
         raw_estimates.append(
-            estimate_from_min_sketch(kept, thresh, h.out_bits))
+            estimate_from_min_sketch(coordinator.values(), thresh,
+                                     h.out_bits))
 
     return DistributedResult(
         estimate=median(raw_estimates),
@@ -199,13 +199,15 @@ def distributed_estimation(site_formulas: Sequence[DnfFormula],
     _charge_hash_setup(channel, k, description, shared_randomness)
 
     lb = level_bits(n)
-    # FlajoletMartin round: each site sends its max level per FM hash.
+    # FlajoletMartin round: each site sends its max level per FM hash;
+    # the coordinator combines with the FM sketch's entry-wise-max rule.
     fm_levels = [-1] * fm_repetitions
     for formula in site_formulas:
-        for j, h in enumerate(fm_hashes):
-            level = _max_level_dnf(formula, h)
+        site_levels = []
+        for h in fm_hashes:
+            site_levels.append(_max_level_dnf(formula, h))
             channel.upload(lb)
-            fm_levels[j] = max(fm_levels[j], level)
+        fm_levels = FlajoletMartinF0.merge_levels(fm_levels, site_levels)
     coarse = median(fm_levels)
     if coarse < 0:
         return DistributedResult(
@@ -215,22 +217,23 @@ def distributed_estimation(site_formulas: Sequence[DnfFormula],
             details={"r": None})
     r = max(0, min(int(coarse) + 3, n))
 
-    # Main round: sites send S[i, j, site]; coordinator takes maxima.
-    oracles: Dict[int, EnumerationOracle] = {}
-    maxima = [[0] * thresh for _ in range(reps)]
-    for site_idx, formula in enumerate(site_formulas):
+    # Main round: sites send S[i, j, site] as one EstimationRow per
+    # repetition; the coordinator folds them with the sketch combine
+    # (entry-wise max via EstimationRow.merge).
+    combined = [EstimationRow(grid[i]) for i in range(reps)]
+    for formula in site_formulas:
         oracle = EnumerationOracle.from_dnf(formula)
-        oracles[site_idx] = oracle
         for i in range(reps):
+            site_row = EstimationRow(grid[i])
             for j in range(thresh):
                 h = grid[i][j]
-                level = max((h.trail_zeros(z) for z in oracle.solutions),
-                            default=0)
+                site_row.maxima[j] = max(
+                    (h.trail_zeros(z) for z in oracle.solutions),
+                    default=0)
                 channel.upload(lb)
-                maxima[i][j] = max(maxima[i][j], level)
+            combined[i].merge(site_row)
 
-    raw_estimates = [estimate_from_levels(maxima[i], r)
-                     for i in range(reps)]
+    raw_estimates = [row.estimate(r) for row in combined]
     return DistributedResult(
         estimate=median(raw_estimates),
         total_bits=channel.total_bits,

@@ -18,6 +18,11 @@ from typing import List
 
 from repro.common.errors import InvalidParameterError
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 
 def poly_degree(f: int) -> int:
     """Degree of a GF(2)[x] polynomial (-1 for the zero polynomial)."""
@@ -189,6 +194,45 @@ class GF2n:
         acc = 0
         for c in reversed(coeffs):
             acc = self.mul(acc, x) ^ c
+        return acc
+
+    def _batchable(self) -> bool:
+        """Whether the vectorised field path applies.  The shift-and-reduce
+        step needs ``a << 1`` to fit in a uint64, hence ``n <= 63``."""
+        return _np is not None and self.n <= 63
+
+    def _mul_batch(self, a, b):
+        """Element-wise field product of two uint64 arrays (Russian-peasant
+        with interleaved modular reduction, all operands stay < 2^n)."""
+        n = self.n
+        one = _np.uint64(1)
+        mask = _np.uint64((1 << n) - 1)
+        mod_low = _np.uint64(self.modulus & ((1 << n) - 1))
+        top = _np.uint64(n - 1) if n > 1 else _np.uint64(0)
+        res = _np.zeros_like(a)
+        a = a.copy()
+        b = b.copy()
+        for _ in range(int(b.max()).bit_length()):
+            res ^= a & ~((b & one) - one)
+            b >>= one
+            carry = ~(((a >> top) & one) - one) if n > 1 \
+                else ~((a & one) - one)
+            a = ((a << one) & mask) ^ (mod_low & carry)
+        return res
+
+    def eval_poly_batch(self, coeffs: List[int], xs) -> "object":
+        """Vectorised :meth:`eval_poly` over a numpy array of points --
+        the batched s-wise hash evaluation.  Falls back to the scalar
+        Horner loop without numpy or for ``n > 63``."""
+        if not self._batchable():
+            return [self.eval_poly(coeffs, int(x)) for x in xs]
+        xs = _np.asarray(xs, dtype=_np.uint64)
+        if not coeffs or xs.size == 0:
+            return _np.zeros_like(xs)
+        acc = _np.full(xs.shape, coeffs[-1], dtype=_np.uint64)
+        for c in coeffs[-2::-1]:
+            acc = self._mul_batch(acc, xs)
+            acc ^= _np.uint64(c)
         return acc
 
     def __repr__(self) -> str:

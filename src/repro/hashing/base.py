@@ -41,6 +41,25 @@ def _parity_u64(a):
     return (a & _np.uint64(1)).astype(_np.uint64)
 
 
+def _popcount_u64(a):
+    """Per-element popcount of a uint64 numpy array (SWAR)."""
+    a = a - ((a >> _np.uint64(1)) & _np.uint64(0x5555555555555555))
+    a = ((a >> _np.uint64(2)) & _np.uint64(0x3333333333333333)) \
+        + (a & _np.uint64(0x3333333333333333))
+    a = (a + (a >> _np.uint64(4))) & _np.uint64(0x0F0F0F0F0F0F0F0F)
+    return (a * _np.uint64(0x0101010101010101)) >> _np.uint64(56)
+
+
+def trail_zeros_u64(values, out_bits: int):
+    """Vectorised ``TrailZero`` over a uint64 numpy array of hash values:
+    trailing zero bits of each value, ``out_bits`` for a zero value."""
+    values = _np.asarray(values, dtype=_np.uint64)
+    lowest = values & (~values + _np.uint64(1))  # Isolate the lowest set bit.
+    tz = _popcount_u64(lowest - _np.uint64(1)).astype(_np.int64)
+    tz[values == 0] = out_bits
+    return tz
+
+
 def cell_level(value: int, out_bits: int) -> int:
     """Number of leading zero rows: the deepest level ``m`` such that the
     prefix-slice ``h_m(x)`` is ``0^m``."""
@@ -171,6 +190,43 @@ class LinearHash:
                 bits ^= _np.uint64(1)
             out |= bits << _np.uint64(mbits - 1 - r)
         return out
+
+    def values_batch_words(self, xs) -> "object":
+        """Vectorised :meth:`value` for arbitrary ``out_bits``: an
+        ``(N, W)`` uint64 array with ``W = ceil(out_bits / 64)`` words per
+        value, **most significant word first**, so that lexicographic order
+        on rows equals numeric order on values (the Minimum sketch's wide
+        3n-bit hashes flow through here).  Returns ``None`` when the numpy
+        path does not apply (caller falls back to scalar hashing).
+        """
+        if not self._batchable():
+            return None
+        xs = _np.asarray(xs, dtype=_np.uint64)
+        words = max(1, (self.out_bits + 63) // 64)
+        out = _np.zeros((xs.shape[0], words), dtype=_np.uint64)
+        for r, row in enumerate(self.rows):
+            bits = _parity_u64(xs & _np.uint64(row))
+            if self.offsets[r]:
+                bits ^= _np.uint64(1)
+            bitpos = self.out_bits - 1 - r
+            col = words - 1 - (bitpos >> 6)
+            out[:, col] |= bits << _np.uint64(bitpos & 63)
+        return out
+
+    @staticmethod
+    def words_to_int(word_row) -> int:
+        """Recombine one row of :meth:`values_batch_words` into the scalar
+        hash value (most significant word first)."""
+        value = 0
+        for w in word_row:
+            value = (value << 64) | int(w)
+        return value
+
+    def trail_zeros_batch(self, xs) -> "object":
+        """Vectorised :meth:`trail_zeros` (requires ``out_bits <= 64``)."""
+        if not self._batchable() or self.out_bits > 64:
+            return [self.trail_zeros(int(x)) for x in xs]
+        return trail_zeros_u64(self.values_batch(xs), self.out_bits)
 
     def cell_levels_batch(self, xs) -> "object":
         """Vectorised :meth:`cell_level`: per-element count of leading

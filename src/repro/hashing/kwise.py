@@ -18,7 +18,12 @@ from typing import List
 from repro.common.bitvec import trailing_zeros
 from repro.common.rng import RandomSource
 from repro.gf2.gf2n import GF2n
-from repro.hashing.base import HashFamily
+from repro.hashing.base import HashFamily, trail_zeros_u64
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 
 class KWiseHash:
@@ -56,6 +61,27 @@ class KWiseHash:
     def trail_zeros(self, x: int) -> int:
         """``TrailZero(h(x))`` -- the Estimation sketch's update value."""
         return trailing_zeros(self.value(x), self.out_bits)
+
+    def values_batch(self, xs) -> "object":
+        """Vectorised :meth:`value`: one GF(2^n) Horner sweep over a numpy
+        array of points (falls back to the scalar loop without numpy or
+        for ``n > 63``)."""
+        return self.field.eval_poly_batch(self.coeffs, xs)
+
+    def trail_zeros_batch(self, xs) -> "object":
+        """Vectorised :meth:`trail_zeros` over a chunk of stream items."""
+        values = self.values_batch(xs)
+        if _np is None or not isinstance(values, _np.ndarray):
+            return [trailing_zeros(v, self.out_bits) for v in values]
+        return trail_zeros_u64(values, self.out_bits)
+
+    def max_trail_zeros(self, xs) -> int:
+        """``max TrailZero(h(x))`` over a chunk -- the Estimation row's
+        batched update (0 for an empty chunk, matching a fresh row)."""
+        if len(xs) == 0:
+            return 0
+        tz = self.trail_zeros_batch(xs)
+        return int(max(tz)) if isinstance(tz, list) else int(tz.max())
 
     def __repr__(self) -> str:
         return f"KWiseHash(n={self.in_bits}, s={len(self.coeffs)})"

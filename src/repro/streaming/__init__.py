@@ -10,19 +10,34 @@ algorithms (Section 3, Algorithms 1-4):
 * :class:`FlajoletMartinF0` -- the constant-factor rough estimator;
 * :class:`ExactF0` -- set-based ground truth.
 
-All sketches expose ``process(x)`` / ``estimate()`` plus ``merge`` (used by
-the distributed protocols of Section 4), and share :class:`SketchParams`
-which carries the paper's constants ``Thresh = 96/eps^2`` and
-``t = 35 log(1/delta)``.
+All sketches implement the :class:`F0Sketch` contract -- ``process(x)`` /
+``process_batch(chunk)`` / ``merge(other)`` / ``estimate()`` /
+``space_bits()`` (merge is what the distributed protocols of Section 4
+exploit) -- and share :class:`SketchParams` which carries the paper's
+constants ``Thresh = 96/eps^2`` and ``t = 35 log(1/delta)``.  The
+:func:`compute_f0` driver chunks any iterable through the batch paths,
+and :class:`ShardedF0` partitions a stream across sketch replicas and
+merges -- both bit-identical to scalar ingestion by the sketches'
+set-semantics invariant.
 """
 
-from repro.streaming.base import F0Estimator, SketchParams, compute_f0
+from repro.streaming.base import (
+    DEFAULT_CHUNK_SIZE,
+    F0Estimator,
+    F0Sketch,
+    SketchParams,
+    chunked,
+    compute_f0,
+)
 from repro.streaming.bucketing import BucketingF0, BucketingRow
 from repro.streaming.estimation import EstimationF0, EstimationRow
 from repro.streaming.exact import ExactF0
 from repro.streaming.flajolet_martin import FlajoletMartinF0
 from repro.streaming.minimum import MinimumF0, MinimumRow
+from repro.streaming.sharded import ShardedF0
 from repro.streaming.streams import (
+    iter_shuffled_stream_with_f0,
+    iter_zipf_like_stream,
     shuffled_stream_with_f0,
     zipf_like_stream,
 )
@@ -30,15 +45,21 @@ from repro.streaming.streams import (
 __all__ = [
     "BucketingF0",
     "BucketingRow",
+    "DEFAULT_CHUNK_SIZE",
     "EstimationF0",
     "EstimationRow",
     "ExactF0",
     "F0Estimator",
+    "F0Sketch",
     "FlajoletMartinF0",
     "MinimumF0",
     "MinimumRow",
+    "ShardedF0",
     "SketchParams",
+    "chunked",
     "compute_f0",
+    "iter_shuffled_stream_with_f0",
+    "iter_zipf_like_stream",
     "shuffled_stream_with_f0",
     "zipf_like_stream",
 ]

@@ -9,11 +9,16 @@ instead of burying magic numbers in call sites.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
-from typing import Iterable, Protocol, runtime_checkable
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.common.errors import InvalidParameterError
+
+#: Default ingestion chunk: large enough to amortise the numpy hash sweep,
+#: small enough that per-chunk candidate selection stays cache-resident.
+DEFAULT_CHUNK_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -51,7 +56,7 @@ class SketchParams:
 
 @runtime_checkable
 class F0Estimator(Protocol):
-    """The streaming interface shared by every sketch in this package."""
+    """The minimal streaming interface (scalar ingestion only)."""
 
     def process(self, x: int) -> None:
         """Feed one stream item."""
@@ -62,9 +67,81 @@ class F0Estimator(Protocol):
         ...
 
 
-def compute_f0(stream: Iterable[int], estimator: F0Estimator) -> float:
-    """The paper's Algorithm 1 driver: process the whole stream, then
-    return the estimate."""
-    for x in stream:
-        estimator.process(x)
+@runtime_checkable
+class F0Sketch(Protocol):
+    """The full mergeable-sketch contract every F0 sketch implements.
+
+    The batch and merge contracts are *exact*: for a fixed hash seed,
+    any split of a stream into ``process`` calls, ``process_batch``
+    chunks (in any order, with any duplication across chunks), or
+    shard-and-``merge`` runs must yield bit-identical estimates -- each
+    sketch is a function of the *set* of distinct elements only.  That
+    set-semantics invariant is what Section 4's distributed protocols
+    exploit, and the property tests in ``tests/test_batch_streaming.py``
+    pin it down for every implementation.
+    """
+
+    def process(self, x: int) -> None:
+        """Feed one stream item."""
+        ...
+
+    def process_batch(self, xs: Sequence[int]) -> None:
+        """Feed a chunk of stream items (one vectorised hash sweep)."""
+        ...
+
+    def merge(self, other: "F0Sketch") -> None:
+        """Fold another sketch built with the *same* hash seeds (from a
+        disjoint or overlapping sub-stream) into this one."""
+        ...
+
+    def estimate(self) -> float:
+        """Current F0 estimate (valid at any point in the stream)."""
+        ...
+
+    def space_bits(self) -> int:
+        """Transmittable footprint (distributed accounting)."""
+        ...
+
+
+def chunked(stream: Iterable[int],
+            chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[Sequence[int]]:
+    """Yield the stream in chunks of at most ``chunk_size`` items.
+
+    Sequences (lists, tuples, numpy arrays) are sliced without copying
+    the whole stream again; arbitrary iterables are buffered lazily, so
+    generator-backed streams are never fully materialised.
+    """
+    if chunk_size < 1:
+        raise InvalidParameterError("chunk_size must be >= 1")
+    try:
+        length = len(stream)  # type: ignore[arg-type]
+        stream[0:0]  # type: ignore[index]  # Sliceable? (sets are not)
+    except TypeError:
+        it = iter(stream)
+        while True:
+            chunk = list(itertools.islice(it, chunk_size))
+            if not chunk:
+                return
+            yield chunk
+    else:
+        for i in range(0, length, chunk_size):
+            yield stream[i:i + chunk_size]  # type: ignore[index]
+
+
+def compute_f0(stream: Iterable[int], estimator: F0Estimator,
+               chunk_size: int = DEFAULT_CHUNK_SIZE) -> float:
+    """The paper's Algorithm 1 driver, chunked.
+
+    The stream (any iterable, including generators) is cut into chunks
+    and fed through ``process_batch`` when the estimator has a batch
+    path; estimators without one receive the items one at a time.  Both
+    routes produce bit-identical estimates -- the batch paths are exact.
+    """
+    process_batch = getattr(estimator, "process_batch", None)
+    if process_batch is None:
+        for x in stream:
+            estimator.process(x)
+    else:
+        for chunk in chunked(stream, chunk_size):
+            process_batch(chunk)
     return estimator.estimate()

@@ -16,13 +16,18 @@ benchmark E19 checks bit-for-bit.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.rng import RandomSource
 from repro.common.stats import median
 from repro.hashing.base import LinearHash
 from repro.hashing.toeplitz import ToeplitzHashFamily
 from repro.streaming.base import SketchParams
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 
 class BucketingRow:
@@ -31,20 +36,47 @@ class BucketingRow:
     The bucket internally remembers each member's cell level (computed
     once, on insertion), so level raises re-filter without re-hashing; the
     batch path computes those levels vectorised for a whole stream chunk.
+
+    A row may also be built *without* a hash function from externally
+    levelled elements (:meth:`from_levelled`) -- the distributed
+    coordinator's combine operates on fingerprint messages whose cell
+    levels were computed site-side, and such rows support ``merge`` and
+    ``estimate`` but not ``process``.
     """
 
-    __slots__ = ("h", "thresh", "level", "bucket", "_levels")
+    __slots__ = ("h", "out_bits", "thresh", "level", "bucket", "_levels")
 
-    def __init__(self, h: LinearHash, thresh: int) -> None:
+    def __init__(self, h: Optional[LinearHash], thresh: int,
+                 out_bits: Optional[int] = None) -> None:
+        if h is None and out_bits is None:
+            raise ValueError("a hashless row needs an explicit out_bits")
         self.h = h
+        self.out_bits = h.out_bits if out_bits is None else out_bits
         self.thresh = thresh
         self.level = 0
         self.bucket: Set[int] = set()
         self._levels: dict = {}
 
+    @classmethod
+    def from_levelled(cls, pairs: Iterable[Tuple[int, int]], thresh: int,
+                      out_bits: int, level: int = 0) -> "BucketingRow":
+        """A row over ``(element, cell level)`` pairs computed elsewhere,
+        already sampled at ``level`` (the coordinator-side constructor)."""
+        row = cls(None, thresh, out_bits=out_bits)
+        row.level = level
+        for x, lvl in pairs:
+            if lvl >= level:
+                row._levels[x] = lvl
+                row.bucket.add(x)
+        row._shrink()
+        return row
+
     def _level_of(self, x: int) -> int:
         lvl = self._levels.get(x)
         if lvl is None:
+            if self.h is None:
+                raise ValueError("level unknown for element of a "
+                                 "hashless row")
             lvl = self.h.cell_level(x)
         return lvl
 
@@ -75,7 +107,7 @@ class BucketingRow:
     def _shrink(self) -> None:
         shrunk = False
         while len(self.bucket) >= self.thresh \
-                and self.level < self.h.out_bits:
+                and self.level < self.out_bits:
             self.level += 1
             shrunk = True
             self.bucket = {y for y in self.bucket
@@ -87,14 +119,23 @@ class BucketingRow:
     def merge(self, other: "BucketingRow") -> None:
         """Combine with a sketch built from another sub-stream using the
         same hash function (distributed Section 4)."""
-        if other.h is not self.h and other.h.rows != self.h.rows:
-            raise ValueError("cannot merge rows with different hashes")
+        if other.h is not self.h:
+            if other.h is None or self.h is None \
+                    or other.h.rows != self.h.rows \
+                    or other.h.offsets != self.h.offsets:
+                raise ValueError("cannot merge rows with different hashes")
         self.level = max(self.level, other.level)
         self._levels.update(other._levels)
         merged = {y for y in self.bucket | other.bucket
                   if self._level_of(y) >= self.level}
         self.bucket = merged
         self._shrink()
+        # _shrink prunes the level cache only when it raises the level;
+        # after a merge the cache may also hold elements the max-level
+        # filter above dropped, so prune unconditionally.
+        if len(self._levels) > len(self.bucket):
+            self._levels = {y: lvl for y, lvl in self._levels.items()
+                            if y in self.bucket}
 
     def estimate(self) -> float:
         """``|bucket| * 2^level``."""
@@ -123,11 +164,23 @@ class BucketingF0:
         for row in self.rows:
             row.process(x)
 
-    def process_batch(self, xs) -> None:
-        """Feed a whole stream chunk; each row evaluates its hash over the
-        chunk in one vectorised pass (see ``LinearHash.cell_levels_batch``)."""
+    def process_batch(self, xs: Sequence[int]) -> None:
+        """Feed a whole stream chunk; duplicates are removed once, up
+        front, then each row evaluates its hash over the chunk in one
+        vectorised pass (see ``LinearHash.cell_levels_batch``)."""
+        if len(xs) == 0:
+            return
+        if _np is not None and self.universe_bits <= 64:
+            xs = _np.unique(_np.asarray(xs, dtype=_np.uint64))
         for row in self.rows:
             row.process_batch(xs)
+
+    def merge(self, other: "BucketingF0") -> None:
+        """Row-wise combine with a sketch built from the same seeds."""
+        if len(other.rows) != len(self.rows):
+            raise ValueError("cannot merge sketches of different widths")
+        for mine, theirs in zip(self.rows, other.rows):
+            mine.merge(theirs)
 
     def estimate(self) -> float:
         return median([row.estimate() for row in self.rows])

@@ -7,18 +7,28 @@ FlajoletMartin sketch), the fraction of entries ``>= r`` estimates
 ``1 - (1 - 2^-r)^F0``, which inverts to the Lemma 3 estimator
 
     ln(1 - (1/Thresh) * sum_j 1{S[i][j] >= r}) / ln(1 - 2^-r).
+
+Batch ingestion evaluates each s-wise polynomial over a whole chunk in
+one vectorised GF(2^n) Horner sweep (``GF2n.eval_poly_batch``) and folds
+the chunk's max trail-zero into the entry -- bit-identical to the scalar
+path, since an entry depends only on the max over the distinct elements.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Sequence
 
 from repro.common.errors import InvalidParameterError
 from repro.common.rng import RandomSource
 from repro.common.stats import median
 from repro.hashing.kwise import KWiseHash, KWiseHashFamily
 from repro.streaming.base import SketchParams
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 
 def independence_for_eps(eps: float) -> int:
@@ -40,6 +50,17 @@ class EstimationRow:
             t = h.trail_zeros(x)
             if t > self.maxima[j]:
                 self.maxima[j] = t
+
+    def process_batch(self, xs: Sequence[int]) -> None:
+        """Fold a chunk's max trail-zero per hash into the entries (one
+        vectorised field sweep per hash)."""
+        if len(xs) == 0:
+            return
+        maxima = self.maxima
+        for j, h in enumerate(self.hashes):
+            t = h.max_trail_zeros(xs)
+            if t > maxima[j]:
+                maxima[j] = t
 
     def merge(self, other: "EstimationRow") -> None:
         """Entry-wise max (the distributed Section 4 combine step)."""
@@ -65,6 +86,11 @@ class EstimationF0:
     explicitly (Theorem 4 style, "given r") or wire in a
     :class:`repro.streaming.flajolet_martin.FlajoletMartinF0` run in
     parallel, as the paper prescribes, via ``estimate_with_rough``.
+
+    Repeated estimates on an unchanged sketch are memoised: every
+    mutation (``process``/``process_batch``/``merge``) bumps a version
+    counter, and the self-derived coarse level ``r`` plus the resulting
+    estimate are cached against it.
     """
 
     def __init__(self, universe_bits: int, params: SketchParams,
@@ -80,10 +106,34 @@ class EstimationF0:
                            for _ in range(params.thresh)])
             for _ in range(params.repetitions)
         ]
+        self._version = 0
+        self._cached_r: tuple | None = None  # (version, r)
+        self._cached_estimate: tuple | None = None  # (version, value)
 
     def process(self, x: int) -> None:
         for row in self.rows:
             row.process(x)
+        self._version += 1
+
+    def process_batch(self, xs: Sequence[int]) -> None:
+        """Feed a whole chunk; duplicates are removed once, up front, so
+        every polynomial is evaluated only on the chunk's distinct
+        elements."""
+        if len(xs) == 0:
+            return
+        if _np is not None and self.universe_bits <= 64:
+            xs = _np.unique(_np.asarray(xs, dtype=_np.uint64))
+        for row in self.rows:
+            row.process_batch(xs)
+        self._version += 1
+
+    def merge(self, other: "EstimationF0") -> None:
+        """Row-wise entry maxima with a sketch built from the same seeds."""
+        if len(other.rows) != len(self.rows):
+            raise ValueError("cannot merge sketches of different widths")
+        for mine, theirs in zip(self.rows, other.rows):
+            mine.merge(theirs)
+        self._version += 1
 
     def estimate_given_r(self, r: int) -> float:
         """Median of row estimates at coarse level ``r``."""
@@ -91,21 +141,31 @@ class EstimationF0:
             raise InvalidParameterError("r out of range")
         return median([row.estimate(r) for row in self.rows])
 
-    def estimate(self) -> float:
-        """Estimate without an externally supplied ``r``.
+    def coarse_r(self) -> int:
+        """The sketch's self-derived coarse level (memoised per version).
 
-        Uses the sketch's own entries to pick ``r`` near the paper's promise
-        window: the median max-trail-zero level is a Flajolet-Martin-style
-        coarse estimate of ``log2 F0``; we shift it up by 3 so that ``2^r``
-        lands in ``[2 F0, 50 F0]`` whenever the coarse level is within its
-        usual factor-5 band.
+        The median max-trail-zero level is a Flajolet-Martin-style coarse
+        estimate of ``log2 F0``; shifting it up by 3 lands ``2^r`` in
+        ``[2 F0, 50 F0]`` whenever the coarse level is within its usual
+        factor-5 band.
         """
-        level_guesses = []
-        for row in self.rows:
-            level_guesses.append(median(sorted(row.maxima)))
+        cached = self._cached_r
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        level_guesses = [median(row.maxima) for row in self.rows]
         coarse = median(level_guesses)
         r = min(int(coarse) + 3, self.universe_bits)
-        return self.estimate_given_r(r)
+        self._cached_r = (self._version, r)
+        return r
+
+    def estimate(self) -> float:
+        """Estimate without an externally supplied ``r`` (memoised)."""
+        cached = self._cached_estimate
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        value = self.estimate_given_r(self.coarse_r())
+        self._cached_estimate = (self._version, value)
+        return value
 
     def space_bits(self) -> int:
         """Seed bits plus one counter per hash function."""

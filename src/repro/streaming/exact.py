@@ -1,6 +1,13 @@
-"""Exact F0 by keeping the distinct set -- the test-suite ground truth."""
+"""Exact F0 by keeping the distinct set -- the test-suite ground truth.
+
+Implements the full :class:`~repro.streaming.base.F0Sketch` contract so
+the exact counter can stand in anywhere a sketch can (chunked drivers,
+sharded ingestion, merge-based combines) while staying bit-exact.
+"""
 
 from __future__ import annotations
+
+from typing import Sequence
 
 
 class ExactF0:
@@ -12,9 +19,20 @@ class ExactF0:
     def process(self, x: int) -> None:
         self._seen.add(x)
 
+    def process_batch(self, xs: Sequence[int]) -> None:
+        self._seen.update(int(x) for x in xs)
+
+    def merge(self, other: "ExactF0") -> None:
+        """Set union -- the trivially exact combine."""
+        self._seen |= other._seen
+
     def estimate(self) -> float:
         return float(len(self._seen))
 
     def distinct(self) -> int:
         """The exact count as an integer."""
         return len(self._seen)
+
+    def space_bits(self) -> int:
+        """Bits held: the stored elements themselves (no seeds)."""
+        return sum(max(1, x.bit_length()) for x in self._seen)

@@ -10,11 +10,16 @@ the promise ``2 F0 <= 2^r <= 50 F0`` holds except with small probability.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.common.rng import RandomSource
 from repro.common.stats import median
 from repro.hashing.xor import XorHashFamily
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 
 class FlajoletMartinF0:
@@ -35,6 +40,34 @@ class FlajoletMartinF0:
             if t > self.max_trail[i]:
                 self.max_trail[i] = t
 
+    def process_batch(self, xs: Sequence[int]) -> None:
+        """Feed a chunk: one vectorised hash-and-trail-zeros sweep per
+        repetition (deduped once up front)."""
+        if len(xs) == 0:
+            return
+        if _np is None or self.universe_bits > 64:
+            for x in xs:
+                self.process(int(x))
+            return
+        xs = _np.unique(_np.asarray(xs, dtype=_np.uint64))
+        for i, h in enumerate(self.hashes):
+            t = int(_np.max(h.trail_zeros_batch(xs)))
+            if t > self.max_trail[i]:
+                self.max_trail[i] = t
+
+    @staticmethod
+    def merge_levels(mine: List[int], theirs: Sequence[int]) -> List[int]:
+        """Entry-wise max of two max-trail-zero vectors -- the combine
+        rule shared with the distributed Estimation protocol's FM round."""
+        if len(mine) != len(theirs):
+            raise ValueError("cannot merge level vectors of different "
+                             "widths")
+        return [max(a, b) for a, b in zip(mine, theirs)]
+
+    def merge(self, other: "FlajoletMartinF0") -> None:
+        """Combine with an FM sketch built from the same seeds."""
+        self.max_trail = self.merge_levels(self.max_trail, other.max_trail)
+
     def estimate(self) -> float:
         """``2^R`` (median over repetitions); 0 for an empty stream."""
         r = median(self.max_trail)
@@ -51,3 +84,8 @@ class FlajoletMartinF0:
         """
         r = median(self.max_trail)
         return max(0, min(int(r) + shift, self.universe_bits))
+
+    def space_bits(self) -> int:
+        """Seed bits plus one trail-zero counter per repetition."""
+        counter_bits = max(1, self.universe_bits.bit_length())
+        return sum(h.seed_bits + counter_bits for h in self.hashes)

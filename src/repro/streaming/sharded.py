@@ -1,0 +1,87 @@
+"""Shard-parallel ingestion over mergeable F0 sketches.
+
+:class:`ShardedF0` partitions one logical stream across ``k`` replicas of
+a sketch that all share the same hash seeds (clones of a freshly built
+prototype), and answers estimates by merging the replicas -- the
+single-machine analogue of the Section 4 coordinator combine step.
+Because every sketch in this package is a function of the *set* of
+distinct elements only, the round-robin split is semantically invisible:
+for a fixed prototype the merged estimate is bit-identical to feeding the
+whole stream through one sketch.
+
+The replicas are independent objects, so callers may hand them to worker
+threads or processes and ``merge`` the results back; this class only
+fixes the partitioning and combine conventions.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterable, List, Sequence
+
+from repro.common.errors import InvalidParameterError
+from repro.streaming.base import DEFAULT_CHUNK_SIZE, F0Sketch, chunked
+
+
+class ShardedF0:
+    """Round-robin partition of a stream across ``k`` sketch replicas.
+
+    ``prototype`` must be a freshly built (empty) sketch implementing the
+    :class:`~repro.streaming.base.F0Sketch` contract; it becomes shard 0
+    and the remaining ``shards - 1`` replicas are deep copies, so all
+    shards share identical hash seeds and merge cleanly.
+    """
+
+    def __init__(self, prototype: F0Sketch, shards: int) -> None:
+        if shards < 1:
+            raise InvalidParameterError("shards must be >= 1")
+        self.shards: List[F0Sketch] = [prototype] + [
+            copy.deepcopy(prototype) for _ in range(shards - 1)]
+        self._cursor = 0  # Round-robin position for scalar ingestion.
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def process(self, x: int) -> None:
+        """Route one item to the next shard in round-robin order."""
+        self.shards[self._cursor].process(x)
+        self._cursor = (self._cursor + 1) % len(self.shards)
+
+    def process_batch(self, xs: Sequence[int]) -> None:
+        """Split a chunk across the shards (strided round-robin), each
+        shard ingesting its slice through its own batch path."""
+        k = len(self.shards)
+        for i, shard in enumerate(self.shards):
+            part = xs[i::k]
+            if len(part):
+                shard.process_batch(part)
+
+    def process_stream(self, stream: Iterable[int],
+                       chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        """Chunk an iterable and scatter it across the shards."""
+        for chunk in chunked(stream, chunk_size):
+            self.process_batch(chunk)
+
+    def merge(self, other: "ShardedF0") -> None:
+        """Fold another sharded run (same prototype seeds) shard-wise."""
+        if other.num_shards != self.num_shards:
+            raise InvalidParameterError("shard counts differ")
+        for mine, theirs in zip(self.shards, other.shards):
+            mine.merge(theirs)
+
+    def merged(self) -> F0Sketch:
+        """One sketch holding the union of all shards (the coordinator
+        combine); the shards themselves are left untouched."""
+        combined = copy.deepcopy(self.shards[0])
+        for shard in self.shards[1:]:
+            combined.merge(shard)
+        return combined
+
+    def estimate(self) -> float:
+        """Estimate of the merged sketch."""
+        return self.merged().estimate()
+
+    def space_bits(self) -> int:
+        """Total footprint across shards (what a k-site run would hold)."""
+        return sum(shard.space_bits() for shard in self.shards)

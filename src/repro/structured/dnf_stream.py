@@ -46,17 +46,33 @@ class StructuredF0Minimum:
         ]
 
     def process_set(self, item: StructuredSet) -> None:
-        """Fold one structured item into every repetition's sketch."""
+        """Fold one structured item into every repetition's sketch.
+
+        The item's candidate values (Thresh smallest per affine piece)
+        are gathered first and folded with one bulk
+        :meth:`~repro.streaming.minimum.MinimumRow.insert_values` call
+        per row -- the shared mergeable-sketch combine path -- rather
+        than one heap update per value.
+        """
         thresh = self.params.thresh
         for row in self.rows:
+            candidates: List[int] = []
             for piece in item.affine_pieces():
                 image = row.h.image_space(piece)
-                for value in image.smallest_elements(thresh):
-                    row.insert_value(value)
+                candidates.extend(image.smallest_elements(thresh))
+            row.insert_values(candidates)
 
     def process_stream(self, items: Iterable[StructuredSet]) -> None:
         for item in items:
             self.process_set(item)
+
+    def merge(self, other: "StructuredF0Minimum") -> None:
+        """Row-wise union with a sketch built from the same seeds (the
+        structured analogue of the Section 4 combine)."""
+        if len(other.rows) != len(self.rows):
+            raise ValueError("cannot merge sketches of different widths")
+        for mine, theirs in zip(self.rows, other.rows):
+            mine.merge(theirs)
 
     def estimate(self) -> float:
         return median([
