@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import json
 import math
 import os
-from typing import List, Sequence
+import platform
+import time
+from typing import List, Mapping, Sequence
 
+from repro.parallel.executor import available_workers
 from repro.streaming.base import SketchParams
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
@@ -45,6 +49,31 @@ def emit(capsys, name: str, table: str) -> None:
     os.makedirs(REPORT_DIR, exist_ok=True)
     with open(os.path.join(REPORT_DIR, f"{name}.txt"), "w") as f:
         f.write(table + "\n")
+
+
+def emit_json(name: str, payload: Mapping[str, object]) -> str:
+    """Persist a machine-readable benchmark record as ``BENCH_<NAME>.json``.
+
+    The human-readable tables are for eyeballs; these records are for the
+    perf trajectory -- stable keys plus enough environment metadata
+    (host CPU budget, python version, timestamp) that numbers from
+    different machines are never silently compared as like-for-like.
+    Returns the path written.
+    """
+    record = {
+        "bench": name,
+        "recorded_at_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "available_workers": available_workers(),
+    }
+    record.update(payload)
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"BENCH_{name.upper()}.json")
+    with open(path, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
 
 
 def fitted_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:

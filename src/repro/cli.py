@@ -3,12 +3,15 @@
 Examples::
 
     python -m repro count formula.cnf --algorithm bucketing --eps 0.8
-    python -m repro count formula.dnf --algorithm minimum
+    python -m repro count formula.dnf --algorithm minimum --workers 4
     python -m repro sample formula.dnf --count 5
     python -m repro f0 items.txt --universe-bits 16 --sketch minimum
+    python -m repro f0 items.txt --universe-bits 16 --workers 0
 
 ``count`` accepts DIMACS ``p cnf`` and ``p dnf`` files (sniffed from the
-problem line); ``f0`` reads one integer item per line.
+problem line); ``f0`` reads one integer item per line.  ``--workers``
+fans counter repetitions / stream chunks out over a process pool
+(``0`` = all cores) with bit-identical results to serial execution.
 """
 
 from __future__ import annotations
@@ -82,7 +85,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         "minimum": approx_model_count_min,
         "estimation": approx_model_count_est,
     }[args.algorithm]
-    result = runner(formula, params, rng)
+    result = runner(formula, params, rng, workers=args.workers)
     print(f"{result.estimate:.6g}")
     print(f"oracle calls: {result.oracle_calls}", file=sys.stderr)
     return 0
@@ -117,7 +120,8 @@ def _cmd_f0(args: argparse.Namespace) -> int:
         estimator = ShardedF0(estimator, args.shards)
     with open(args.items) as f:
         items = (int(line) for line in f if line.strip())
-        value = compute_f0(items, estimator, chunk_size=args.chunk_size)
+        value = compute_f0(items, estimator, chunk_size=args.chunk_size,
+                           workers=args.workers)
     print(f"{value:.6g}")
     return 0
 
@@ -140,12 +144,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--repetitions-constant", type=float, default=35.0,
                        help="t = c ln(1/delta) constant (paper: 35)")
 
+    def add_workers(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial, 0 = all "
+                            "cores); estimates are bit-identical for "
+                            "any worker count")
+
     count = sub.add_parser("count", help="approximate model counting")
     count.add_argument("formula", help="DIMACS cnf/dnf file")
     count.add_argument("--algorithm", default="bucketing",
                        choices=["bucketing", "minimum", "estimation",
                                 "karp-luby", "exact"])
     add_common(count)
+    add_workers(count)
     count.set_defaults(func=_cmd_count)
 
     sample = sub.add_parser("sample", help="near-uniform solution samples")
@@ -167,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="batch-ingestion chunk size "
                          f"(default {DEFAULT_CHUNK_SIZE})")
     add_common(f0)
+    add_workers(f0)
     f0.set_defaults(func=_cmd_f0)
     return parser
 

@@ -38,6 +38,7 @@ from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.base import LinearHash
 from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.parallel.executor import Executor, executor_for
 from repro.sat.oracle import NpOracle
 from repro.streaming.base import SketchParams
 
@@ -112,6 +113,19 @@ _STRATEGIES = {
 }
 
 
+def _approxmc_repetition(h: LinearHash, shared) -> tuple:
+    """One repetition's level search, self-contained for a pool worker:
+    builds its own oracle (sessions share no state across repetitions,
+    so per-repetition sketches and call counts match the serial loop
+    exactly).  Returns ``(count, level, oracle_calls)``."""
+    formula, thresh, search, incremental = shared
+    oracle = NpOracle(formula) if isinstance(formula, CnfFormula) else None
+    cells = cell_search_for(formula, h, thresh, oracle=oracle,
+                            incremental=incremental)
+    count, level = _STRATEGIES[search](cells)
+    return count, level, oracle.calls if oracle is not None else 0
+
+
 def approx_mc(
     formula: Formula,
     params: SketchParams,
@@ -119,6 +133,8 @@ def approx_mc(
     search: SearchStrategy = "linear",
     hashes: Optional[Sequence[LinearHash]] = None,
     incremental: bool = True,
+    workers: int = 1,
+    executor: Optional[Executor] = None,
 ) -> CountResult:
     """Run ApproxMC; see module docstring.
 
@@ -128,6 +144,12 @@ def approx_mc(
     entirely in polynomial time (``oracle_calls == 0``).  ``incremental``
     selects between the shared-solver engine and the fresh-solver baseline
     on the CNF path (identical estimates either way).
+
+    ``workers`` / ``executor`` fan the repetitions out over a process
+    pool (one independent :class:`CellSearchEngine` per repetition; the
+    hash functions are pre-sampled in the parent, so estimates,
+    per-repetition sketches and oracle-call totals are bit-identical to
+    the serial run).  ``workers=1`` keeps the serial loop untouched.
     """
     if search not in _STRATEGIES:
         raise InvalidParameterError(f"unknown search strategy {search!r}")
@@ -140,21 +162,32 @@ def approx_mc(
     elif len(hashes) < reps:
         raise InvalidParameterError("not enough hash functions supplied")
 
-    oracle = NpOracle(formula) if isinstance(formula, CnfFormula) else None
-    find_level = _STRATEGIES[search]
+    with executor_for(workers, executor) as ex:
+        if ex.is_serial:
+            oracle = (NpOracle(formula)
+                      if isinstance(formula, CnfFormula) else None)
+            find_level = _STRATEGIES[search]
+            results = []
+            for i in range(reps):
+                cells = cell_search_for(formula, hashes[i], thresh,
+                                        oracle=oracle,
+                                        incremental=incremental)
+                count, level = find_level(cells)
+                results.append((count, level, 0))
+            calls = oracle.calls if oracle is not None else 0
+        else:
+            shared = (formula, thresh, search, incremental)
+            results = ex.map(_approxmc_repetition, list(hashes[:reps]),
+                             shared=shared)
+            calls = sum(r[2] for r in results)
 
-    raw: List[float] = []
-    sketches = []
-    for i in range(reps):
-        cells = cell_search_for(formula, hashes[i], thresh, oracle=oracle,
-                                incremental=incremental)
-        count, level = find_level(cells)
-        raw.append(count * float(1 << level))
-        sketches.append((count, level))
+    raw: List[float] = [count * float(1 << level)
+                        for count, level, _ in results]
+    sketches = [(count, level) for count, level, _ in results]
 
     return CountResult(
         estimate=median(raw),
-        oracle_calls=oracle.calls if oracle is not None else 0,
+        oracle_calls=calls,
         raw_estimates=raw,
         iteration_sketches=sketches,
     )

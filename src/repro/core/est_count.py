@@ -30,11 +30,24 @@ from repro.core.results import CountResult
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.kwise import KWiseHashFamily
+from repro.parallel.executor import Executor, executor_for
 from repro.sat.oracle import EnumerationOracle
 from repro.streaming.base import SketchParams
 from repro.streaming.estimation import independence_for_eps
 
 Formula = Union[CnfFormula, DnfFormula]
+
+
+def _est_repetition(rep_hashes, shared) -> tuple:
+    """One repetition's FindMaxRange sweep, self-contained for a pool
+    worker.  The enumerated solution set is shipped once per worker (the
+    ``shared`` payload) instead of re-enumerating the formula per
+    repetition; each query is counted exactly as in the serial loop.
+    Returns ``(levels, oracle_calls)``."""
+    solutions, n = shared
+    oracle = EnumerationOracle(solutions)
+    levels = tuple(find_max_range(oracle, h, n) for h in rep_hashes)
+    return levels, oracle.calls
 
 
 def estimate_from_levels(levels: List[int], r: int) -> float:
@@ -55,12 +68,19 @@ def approx_model_count_est(
     r: Optional[int] = None,
     independence: Optional[int] = None,
     fm_repetitions: int = 9,
+    workers: int = 1,
+    executor: Optional[Executor] = None,
 ) -> CountResult:
     """Run ApproxModelCountEst; see module docstring.
 
     ``r`` follows Theorem 4's promise when given; otherwise it is derived
     from a parallel FlajoletMartin rough count (whose oracle calls are
     included in the total).
+
+    ``workers`` / ``executor`` fan the repetitions (and the FM rough
+    count's) over a process pool.  Every hash is pre-sampled in the
+    parent in the serial draw order, so estimates, per-repetition level
+    vectors and call totals are bit-identical to ``workers=1``.
     """
     n = formula.num_vars
     if n < 1:
@@ -75,30 +95,44 @@ def approx_model_count_est(
         oracle = EnumerationOracle.from_dnf(formula)
     else:
         oracle = EnumerationOracle.from_cnf(formula)
-    fm_calls = 0
-    if r is None:
-        fm = flajolet_martin_count(formula, rng,
-                                   repetitions=fm_repetitions)
-        fm_calls = fm.oracle_calls
-        if fm.estimate == 0.0:
-            return CountResult(estimate=0.0, oracle_calls=fm_calls)
-        r = fm.rough_r(n)
-    if not 0 <= r <= n:
-        raise InvalidParameterError("r out of range")
+    with executor_for(workers, executor) as ex:
+        fm_calls = 0
+        if r is None:
+            fm = flajolet_martin_count(formula, rng,
+                                       repetitions=fm_repetitions,
+                                       executor=ex)
+            fm_calls = fm.oracle_calls
+            if fm.estimate == 0.0:
+                return CountResult(estimate=0.0, oracle_calls=fm_calls)
+            r = fm.rough_r(n)
+        if not 0 <= r <= n:
+            raise InvalidParameterError("r out of range")
 
-    raw: List[float] = []
-    sketches = []
-    for _i in range(reps):
-        levels = []
-        for _j in range(thresh):
-            h = family.sample(rng)
-            levels.append(find_max_range(oracle, h, n))
-        raw.append(estimate_from_levels(levels, r))
-        sketches.append(tuple(levels))
+        # Pre-sample every repetition's hashes in the serial draw order
+        # (repetition-major): parallel runs consume the parent RNG
+        # identically to the serial loop.
+        rep_hashes = [[family.sample(rng) for _j in range(thresh)]
+                      for _i in range(reps)]
+
+        if ex.is_serial:
+            results = []
+            for hashes in rep_hashes:
+                levels = tuple(find_max_range(oracle, h, n)
+                               for h in hashes)
+                results.append((levels, 0))
+            est_calls = oracle.calls
+        else:
+            results = ex.map(_est_repetition, rep_hashes,
+                             shared=(oracle.solutions, n))
+            est_calls = oracle.calls + sum(c for _, c in results)
+
+    raw: List[float] = [estimate_from_levels(list(levels), r)
+                        for levels, _ in results]
+    sketches = [levels for levels, _ in results]
 
     return CountResult(
         estimate=median(raw),
-        oracle_calls=oracle.calls + fm_calls,
+        oracle_calls=est_calls + fm_calls,
         raw_estimates=raw,
         iteration_sketches=sketches,
     )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.common.rng import RandomSource
 from repro.common.stats import median
@@ -20,6 +20,7 @@ from repro.core.find_max_range import find_max_range
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.xor import XorHashFamily
+from repro.parallel.executor import Executor, executor_for
 from repro.sat.oracle import NpOracle
 
 Formula = Union[CnfFormula, DnfFormula]
@@ -52,22 +53,39 @@ def _max_level_dnf(formula: DnfFormula, h) -> int:
     return best
 
 
+def _fm_repetition(h, shared) -> tuple:
+    """One FM repetition, self-contained for a pool worker: the CNF path
+    builds its own oracle (fresh per repetition, exactly as the serial
+    loop does).  Returns ``(level, oracle_calls)``."""
+    formula = shared
+    if isinstance(formula, DnfFormula):
+        return _max_level_dnf(formula, h), 0
+    oracle = NpOracle(formula)
+    level = find_max_range(oracle, h, formula.num_vars)
+    return level, oracle.calls
+
+
 def flajolet_martin_count(formula: Formula, rng: RandomSource,
-                          repetitions: int = 1) -> FmCountResult:
-    """Median-of-``repetitions`` FM rough count of ``|Sol(phi)|``."""
+                          repetitions: int = 1,
+                          workers: int = 1,
+                          executor: Optional[Executor] = None,
+                          ) -> FmCountResult:
+    """Median-of-``repetitions`` FM rough count of ``|Sol(phi)|``.
+
+    ``workers`` / ``executor`` fan the repetitions over a process pool
+    (hashes pre-sampled in the parent; levels and call totals
+    bit-identical to the serial loop).
+    """
     n = formula.num_vars
     family = XorHashFamily(n, n)
-    levels: List[int] = []
-    calls = 0
-    for _ in range(repetitions):
-        h = family.sample(rng)
-        if isinstance(formula, DnfFormula):
-            level = _max_level_dnf(formula, h)
+    hashes = [family.sample(rng) for _ in range(repetitions)]
+    with executor_for(workers, executor) as ex:
+        if ex.is_serial:
+            results = [_fm_repetition(h, formula) for h in hashes]
         else:
-            oracle = NpOracle(formula)
-            level = find_max_range(oracle, h, n)
-            calls += oracle.calls
-        levels.append(level)
+            results = ex.map(_fm_repetition, hashes, shared=formula)
+    levels = [level for level, _ in results]
+    calls = sum(c for _, c in results)
     level = median(levels)
     estimate = 0.0 if level < 0 else float(2.0 ** level)
     return FmCountResult(estimate=estimate, oracle_calls=calls,

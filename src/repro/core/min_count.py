@@ -27,10 +27,23 @@ from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.base import LinearHash
 from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.parallel.executor import Executor, executor_for
 from repro.sat.oracle import NpOracle
 from repro.streaming.base import SketchParams
 
 Formula = Union[CnfFormula, DnfFormula]
+
+
+def _min_repetition(h: LinearHash, shared) -> tuple:
+    """One FindMin repetition, self-contained for a pool worker: own
+    oracle, own hashed session (sessions share no solver state, so
+    sketches and call counts match the serial loop).  Returns
+    ``(values, oracle_calls)``."""
+    formula, thresh = shared
+    oracle = NpOracle(formula) if isinstance(formula, CnfFormula) else None
+    hashed = HashedSession(oracle, h) if oracle is not None else None
+    values = find_min(formula, h, thresh, oracle=oracle, hashed=hashed)
+    return tuple(values), oracle.calls if oracle is not None else 0
 
 
 def estimate_from_min_sketch(values: Sequence[int], thresh: int,
@@ -52,8 +65,16 @@ def approx_model_count_min(
     params: SketchParams,
     rng: RandomSource,
     hashes: Optional[Sequence[LinearHash]] = None,
+    workers: int = 1,
+    executor: Optional[Executor] = None,
 ) -> CountResult:
-    """Run ApproxModelCountMin; see module docstring."""
+    """Run ApproxModelCountMin; see module docstring.
+
+    ``workers`` / ``executor`` fan the repetitions out over a process
+    pool (hashes pre-sampled in the parent; per-repetition sketches and
+    call totals bit-identical to serial).  ``workers=1`` keeps the
+    serial loop untouched.
+    """
     n = formula.num_vars
     out_bits = 3 * n
     thresh = params.thresh
@@ -64,25 +85,34 @@ def approx_model_count_min(
     elif len(hashes) < reps:
         raise InvalidParameterError("not enough hash functions supplied")
 
-    oracle = NpOracle(formula) if isinstance(formula, CnfFormula) else None
+    with executor_for(workers, executor) as ex:
+        if ex.is_serial:
+            oracle = (NpOracle(formula)
+                      if isinstance(formula, CnfFormula) else None)
+            results = []
+            for i in range(reps):
+                # One hashed session per repetition: FindMin's whole
+                # prefix search runs on assumptions against a single
+                # solver (same substrate as the cell-search engine).
+                hashed = (HashedSession(oracle, hashes[i])
+                          if oracle is not None else None)
+                values = find_min(formula, hashes[i], thresh,
+                                  oracle=oracle, hashed=hashed)
+                results.append((tuple(values), 0))
+            calls = oracle.calls if oracle is not None else 0
+        else:
+            results = ex.map(_min_repetition, list(hashes[:reps]),
+                             shared=(formula, thresh))
+            calls = sum(r[1] for r in results)
 
-    raw: List[float] = []
-    sketches = []
-    for i in range(reps):
-        # One hashed session per repetition: FindMin's whole prefix search
-        # runs on assumptions against a single solver (same substrate as
-        # the cell-search engine).
-        hashed = (HashedSession(oracle, hashes[i])
-                  if oracle is not None else None)
-        values = find_min(formula, hashes[i], thresh, oracle=oracle,
-                          hashed=hashed)
-        raw.append(estimate_from_min_sketch(values, thresh,
-                                            hashes[i].out_bits))
-        sketches.append(tuple(values))
+    raw: List[float] = [
+        estimate_from_min_sketch(values, thresh, hashes[i].out_bits)
+        for i, (values, _) in enumerate(results)]
+    sketches = [values for values, _ in results]
 
     return CountResult(
         estimate=median(raw),
-        oracle_calls=oracle.calls if oracle is not None else 0,
+        oracle_calls=calls,
         raw_estimates=raw,
         iteration_sketches=sketches,
     )

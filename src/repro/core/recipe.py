@@ -70,6 +70,17 @@ def bucketing_sketch_from_formula(formula: Formula, h: LinearHash,
     while len(cell) >= thresh and level < h.out_bits:
         level += 1
         cell = bounded_sat(formula, h, level, thresh, oracle=oracle)
+    while len(cell) >= thresh and level == h.out_bits:
+        # Saturated at the deepest level: the sketch relation P1 holds the
+        # *whole* final cell (the streaming row cannot shrink past level
+        # n), so lift the BoundedSAT cap until the cell is exhausted.
+        cap = 2 * max(1, len(cell))
+        bigger = bounded_sat(formula, h, level, cap, oracle=oracle)
+        if len(bigger) == len(cell):
+            break
+        cell = bigger
+        if len(cell) < cap:
+            break
     return frozenset(cell), level
 
 

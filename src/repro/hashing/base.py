@@ -122,7 +122,8 @@ class LinearHash:
     elimination.
     """
 
-    __slots__ = ("in_bits", "out_bits", "rows", "offsets", "_seed_bits")
+    __slots__ = ("in_bits", "out_bits", "rows", "offsets", "_seed_bits",
+                 "_pack")
 
     is_linear = True
 
@@ -136,10 +137,51 @@ class LinearHash:
         self.offsets = [b & 1 for b in offsets]
         self._seed_bits = (seed_bits if seed_bits is not None
                            else self.out_bits * (in_bits + 1))
+        self._pack = None  # Lazily built numpy row/word layout cache.
 
     @property
     def seed_bits(self) -> int:
         return self._seed_bits
+
+    def __getstate__(self):
+        # The packed layout is scratch state: dropping it keeps pickles
+        # (worker task payloads, sketch replicas shipped to a process
+        # pool) small, and it is rebuilt lazily on first batch use.
+        return {"in_bits": self.in_bits, "out_bits": self.out_bits,
+                "rows": self.rows, "offsets": self.offsets,
+                "_seed_bits": self._seed_bits}
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._pack = None
+
+    def _packed(self):
+        """The numpy row layout, built once and reused across chunks:
+        ``(rows_u64, value_shifts, offset_const)`` for the single-word
+        path plus ``(word_cols, word_shifts, offset_words)`` for the
+        multi-word path.  Chunked ingestion calls ``values_batch`` once
+        per chunk; without the cache every call re-packed the matrix."""
+        if self._pack is None:
+            words = max(1, (self.out_bits + 63) // 64)
+            rows_u64 = _np.array(self.rows, dtype=_np.uint64)
+            bitpos = _np.array([self.out_bits - 1 - r
+                                for r in range(self.out_bits)],
+                               dtype=_np.int64)
+            offset_words = _np.zeros(words, dtype=_np.uint64)
+            for r, b in enumerate(self.offsets):
+                if b:
+                    col = words - 1 - (int(bitpos[r]) >> 6)
+                    offset_words[col] |= _np.uint64(1) << _np.uint64(
+                        int(bitpos[r]) & 63)
+            self._pack = {
+                "rows": rows_u64,
+                "shifts": (bitpos & 63).astype(_np.uint64),
+                "cols": (words - 1 - (bitpos >> 6)).astype(_np.int64),
+                "words": words,
+                "offset_words": offset_words,
+            }
+        return self._pack
 
     def value(self, x: int) -> int:
         """Full hash value, row 0 at the MSB."""
@@ -182,13 +224,13 @@ class LinearHash:
         if not self._batchable():
             return [self.value(int(x)) for x in xs]
         xs = _np.asarray(xs, dtype=_np.uint64)
+        pack = self._packed()
         out = _np.zeros(xs.shape, dtype=_np.uint64)
-        mbits = self.out_bits
-        for r, row in enumerate(self.rows):
-            bits = _parity_u64(xs & _np.uint64(row))
-            if self.offsets[r]:
-                bits ^= _np.uint64(1)
-            out |= bits << _np.uint64(mbits - 1 - r)
+        rows, shifts = pack["rows"], pack["shifts"]
+        for r in range(self.out_bits):
+            out |= _parity_u64(xs & rows[r]) << shifts[r]
+        if pack["offset_words"][0]:
+            out ^= pack["offset_words"][0]  # h(x) = Ax ^ b, b folded once.
         return out
 
     def values_batch_words(self, xs) -> "object":
@@ -202,15 +244,12 @@ class LinearHash:
         if not self._batchable():
             return None
         xs = _np.asarray(xs, dtype=_np.uint64)
-        words = max(1, (self.out_bits + 63) // 64)
-        out = _np.zeros((xs.shape[0], words), dtype=_np.uint64)
-        for r, row in enumerate(self.rows):
-            bits = _parity_u64(xs & _np.uint64(row))
-            if self.offsets[r]:
-                bits ^= _np.uint64(1)
-            bitpos = self.out_bits - 1 - r
-            col = words - 1 - (bitpos >> 6)
-            out[:, col] |= bits << _np.uint64(bitpos & 63)
+        pack = self._packed()
+        rows, shifts, cols = pack["rows"], pack["shifts"], pack["cols"]
+        out = _np.zeros((xs.shape[0], pack["words"]), dtype=_np.uint64)
+        for r in range(self.out_bits):
+            out[:, cols[r]] |= _parity_u64(xs & rows[r]) << shifts[r]
+        out ^= pack["offset_words"][_np.newaxis, :]
         return out
 
     @staticmethod
@@ -235,12 +274,22 @@ class LinearHash:
             return [self.cell_level(int(x)) for x in xs]
         xs = _np.asarray(xs, dtype=_np.uint64)
         m = self.out_bits
+        if m <= 64:
+            # cell_level(v) == out_bits - bit_length(v): hash the chunk in
+            # one cached-layout sweep, then a SWAR bit-length (smear the
+            # top bit down, popcount).
+            v = _np.asarray(self.values_batch(xs), dtype=_np.uint64).copy()
+            for shift in (1, 2, 4, 8, 16, 32):
+                v |= v >> _np.uint64(shift)
+            return m - _popcount_u64(v).astype(_np.int64)
+        pack = self._packed()
+        rows = pack["rows"]
         levels = _np.full(xs.shape, m, dtype=_np.int64)
         undecided = _np.ones(xs.shape, dtype=bool)
-        for r, row in enumerate(self.rows):
+        for r in range(self.out_bits):
             if not undecided.any():
                 break
-            bits = _parity_u64(xs & _np.uint64(row))
+            bits = _parity_u64(xs & rows[r])
             if self.offsets[r]:
                 bits ^= _np.uint64(1)
             hit = undecided & (bits == _np.uint64(1))

@@ -1,0 +1,31 @@
+"""Process-parallel execution layer (executors, seed splitting, scatter).
+
+See :mod:`repro.parallel.executor` for the backend contract and the
+determinism discipline, and :mod:`repro.parallel.streaming` for the
+chunk scatter / sketch gather plumbing the streaming side rides.
+"""
+
+from repro.parallel.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    available_workers,
+    executor_for,
+    get_executor,
+    resolve_workers,
+    split_seeds,
+)
+from repro.parallel.streaming import DEFAULT_WAVE, ingest_stream_parallel
+
+__all__ = [
+    "DEFAULT_WAVE",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "available_workers",
+    "executor_for",
+    "get_executor",
+    "ingest_stream_parallel",
+    "resolve_workers",
+    "split_seeds",
+]

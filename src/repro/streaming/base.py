@@ -9,12 +9,22 @@ instead of burying magic numbers in call sites.
 
 from __future__ import annotations
 
+import copy
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+from typing import (
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.common.errors import InvalidParameterError
+from repro.parallel.executor import Executor, executor_for
+from repro.parallel.streaming import ingest_stream_parallel
 
 #: Default ingestion chunk: large enough to amortise the numpy hash sweep,
 #: small enough that per-chunk candidate selection stays cache-resident.
@@ -129,14 +139,35 @@ def chunked(stream: Iterable[int],
 
 
 def compute_f0(stream: Iterable[int], estimator: F0Estimator,
-               chunk_size: int = DEFAULT_CHUNK_SIZE) -> float:
+               chunk_size: int = DEFAULT_CHUNK_SIZE,
+               workers: int = 1,
+               executor: Optional[Executor] = None) -> float:
     """The paper's Algorithm 1 driver, chunked.
 
     The stream (any iterable, including generators) is cut into chunks
     and fed through ``process_batch`` when the estimator has a batch
     path; estimators without one receive the items one at a time.  Both
     routes produce bit-identical estimates -- the batch paths are exact.
+
+    ``workers=k`` (or an explicit ``executor``) scatters the chunks over
+    a process pool: ``k`` replicas of the estimator (same hash seeds)
+    each ingest a round-robin chunk partition in their own worker, and
+    the pickled replicas are merged back into ``estimator``.  Set
+    semantics make the result bit-identical to ``workers=1``.  The
+    parallel path needs the full :class:`F0Sketch` contract
+    (``process_batch`` + ``merge``); estimators without it fall back to
+    serial ingestion.
     """
+    with executor_for(workers, executor) as ex:
+        if (not ex.is_serial and hasattr(estimator, "merge")
+                and hasattr(estimator, "process_batch")):
+            replicas = [copy.deepcopy(estimator)
+                        for _ in range(ex.workers)]
+            replicas = ingest_stream_parallel(
+                ex, replicas, chunked(stream, chunk_size))
+            for replica in replicas:
+                estimator.merge(replica)
+            return estimator.estimate()
     process_batch = getattr(estimator, "process_batch", None)
     if process_batch is None:
         for x in stream:

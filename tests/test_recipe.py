@@ -74,6 +74,26 @@ class TestBucketingEquivalence:
         assert from_stream == from_formula
 
 
+class TestBucketingSaturatedAtMaxLevel:
+    def test_full_cell_kept_when_level_caps(self):
+        """Degenerate corner: >= thresh solutions hash to the all-zero
+        value, so the level loop saturates at ``out_bits`` with a full
+        cell.  The P1 sketch holds the *whole* final cell (the streaming
+        row cannot shrink past level n); the formula side must lift the
+        BoundedSAT cap rather than truncate at thresh (regression: the
+        two sketches diverged here)."""
+        from repro.hashing.base import LinearHash
+
+        n = 4
+        dnf = DnfFormula(n, [[1], [-1]])  # All 16 assignments.
+        h = LinearHash(n, [0] * n, [0] * n)  # h(x) == 0 for every x.
+        stream = list(range(16)) * 2
+        from_stream = bucketing_sketch_from_stream(stream, h, thresh=3)
+        from_formula = bucketing_sketch_from_formula(dnf, h, thresh=3)
+        assert from_stream == (frozenset(range(16)), n)
+        assert from_formula == from_stream
+
+
 class TestMinimumEquivalence:
     @given(formula_stream_and_seed(), st.integers(1, 12))
     @settings(max_examples=60, deadline=None)
