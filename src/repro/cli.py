@@ -3,8 +3,10 @@
 Examples::
 
     python -m repro count formula.cnf --algorithm bucketing --eps 0.8
+    python -m repro count formula.cnf --oracle bruteforce
     python -m repro count formula.dnf --algorithm minimum --workers 4
     python -m repro sample formula.dnf --count 5
+    python -m repro backends
     python -m repro f0 items.txt --universe-bits 16 --sketch minimum
     python -m repro f0 items.txt --universe-bits 16 --workers 0
 
@@ -12,6 +14,8 @@ Examples::
 problem line); ``f0`` reads one integer item per line.  ``--workers``
 fans counter repetitions / stream chunks out over a process pool
 (``0`` = all cores) with bit-identical results to serial execution.
+``--oracle`` selects the NP-oracle solver backend from the registry
+(``python -m repro backends`` lists what is installed).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.core.sampling import sample_solutions
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dimacs import parse_dimacs_cnf, parse_dimacs_dnf
 from repro.formulas.dnf import DnfFormula
+from repro.sat.backends import DEFAULT_BACKEND, backend_info, backend_names
 from repro.streaming.base import (
     DEFAULT_CHUNK_SIZE,
     SketchParams,
@@ -69,6 +74,10 @@ def _params(args: argparse.Namespace) -> SketchParams:
 def _cmd_count(args: argparse.Namespace) -> int:
     formula = _load_formula(args.formula)
     rng = random.Random(args.seed)
+    if args.algorithm in ("exact", "karp-luby") and args.oracle:
+        raise SystemExit(
+            f"--oracle has no effect on --algorithm {args.algorithm} "
+            "(no NP-oracle probes are issued); drop the flag")
     if args.algorithm == "exact":
         print(exact_model_count(formula))
         return 0
@@ -85,7 +94,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
         "minimum": approx_model_count_min,
         "estimation": approx_model_count_est,
     }[args.algorithm]
-    result = runner(formula, params, rng, workers=args.workers)
+    result = runner(formula, params, rng, workers=args.workers,
+                    backend=args.oracle)
     print(f"{result.estimate:.6g}")
     print(f"oracle calls: {result.oracle_calls}", file=sys.stderr)
     return 0
@@ -94,10 +104,20 @@ def _cmd_count(args: argparse.Namespace) -> int:
 def _cmd_sample(args: argparse.Namespace) -> int:
     formula = _load_formula(args.formula)
     rng = random.Random(args.seed)
-    for model in sample_solutions(formula, rng, args.count):
+    for model in sample_solutions(formula, rng, args.count,
+                                  backend=args.oracle):
         lits = [v if (model >> (v - 1)) & 1 else -v
                 for v in range(1, formula.num_vars + 1)]
         print(" ".join(str(l) for l in lits) + " 0")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """List the registered NP-oracle backends."""
+    for name in backend_names():
+        info = backend_info(name)
+        marker = " (default)" if name == DEFAULT_BACKEND else ""
+        print(f"{name}{marker}: {info.description}")
     return 0
 
 
@@ -126,6 +146,19 @@ def _cmd_f0(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workers_arg(text: str) -> int:
+    """Parse ``--workers`` with a friendly message instead of a traceback
+    deep inside the executor layer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "workers must be >= 0 (1 = serial, 0 = all cores)")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -145,10 +178,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="t = c ln(1/delta) constant (paper: 35)")
 
     def add_workers(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--workers", type=int, default=1,
+        p.add_argument("--workers", type=_workers_arg, default=1,
                        help="worker processes (1 = serial, 0 = all "
                             "cores); estimates are bit-identical for "
                             "any worker count")
+
+    def add_oracle(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--oracle", default=None, choices=backend_names(),
+                       metavar="BACKEND",
+                       help="NP-oracle solver backend (see `repro "
+                            f"backends`; default {DEFAULT_BACKEND})")
 
     count = sub.add_parser("count", help="approximate model counting")
     count.add_argument("formula", help="DIMACS cnf/dnf file")
@@ -157,13 +196,19 @@ def build_parser() -> argparse.ArgumentParser:
                                 "karp-luby", "exact"])
     add_common(count)
     add_workers(count)
+    add_oracle(count)
     count.set_defaults(func=_cmd_count)
 
     sample = sub.add_parser("sample", help="near-uniform solution samples")
     sample.add_argument("formula", help="DIMACS cnf/dnf file")
     sample.add_argument("--count", type=int, default=1)
     add_common(sample)
+    add_oracle(sample)
     sample.set_defaults(func=_cmd_sample)
+
+    backends = sub.add_parser(
+        "backends", help="list registered NP-oracle backends")
+    backends.set_defaults(func=_cmd_backends)
 
     f0 = sub.add_parser("f0", help="distinct elements of an item stream")
     f0.add_argument("items", help="file with one integer item per line")

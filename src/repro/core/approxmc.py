@@ -23,22 +23,33 @@ matching Proposition 1's accounting) and, on the default incremental CNF
 engine, all probes of a repetition share one persistent solver whose
 enumerated models seed deeper levels.  ``incremental=False`` restores the
 fresh-solver-per-probe baseline that benchmark E23 measures against.
+
+The repetition loop itself lives in :class:`repro.core.engine.
+RepetitionEngine`; this module contributes only the
+:class:`BucketingStrategy` (hash family, level search, sketch-to-estimate
+rule), and :func:`approx_mc` stays as the thin public wrapper.  ``backend``
+selects the NP-oracle solver from :mod:`repro.sat.backends`.
 """
 
 from __future__ import annotations
 
-from typing import List, Literal, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import InvalidParameterError
 from repro.common.rng import RandomSource
-from repro.common.stats import median
 from repro.core.cell_search import CellSearch, cell_search_for
-from repro.core.results import CountResult
+from repro.core.engine import (
+    CounterStrategy,
+    RepetitionEngine,
+    presampled_hashes,
+)
+from repro.core.results import ApproxCountResult, CountResult
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.base import LinearHash
 from repro.hashing.toeplitz import ToeplitzHashFamily
-from repro.parallel.executor import Executor, executor_for
+from repro.parallel.executor import Executor
 from repro.sat.oracle import NpOracle
 from repro.streaming.base import SketchParams
 
@@ -113,17 +124,43 @@ _STRATEGIES = {
 }
 
 
-def _approxmc_repetition(h: LinearHash, shared) -> tuple:
-    """One repetition's level search, self-contained for a pool worker:
-    builds its own oracle (sessions share no state across repetitions,
-    so per-repetition sketches and call counts match the serial loop
-    exactly).  Returns ``(count, level, oracle_calls)``."""
-    formula, thresh, search, incremental = shared
-    oracle = NpOracle(formula) if isinstance(formula, CnfFormula) else None
-    cells = cell_search_for(formula, h, thresh, oracle=oracle,
-                            incremental=incremental)
-    count, level = _STRATEGIES[search](cells)
-    return count, level, oracle.calls if oracle is not None else 0
+@dataclass
+class BucketingStrategy(CounterStrategy):
+    """ApproxMC as a :class:`CounterStrategy`: Toeplitz ``n -> n`` hashes,
+    level search per repetition, ``|cell| * 2^level`` per sketch."""
+
+    formula: Formula
+    thresh: int
+    repetitions: int
+    search: SearchStrategy = "linear"
+    incremental: bool = True
+    backend: Optional[str] = None
+    #: Caller-supplied hash functions (the sketch-equivalence experiment
+    #: feeds the same functions to the streaming side); ``None`` samples.
+    hashes: Optional[Sequence[LinearHash]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.search not in _STRATEGIES:
+            raise InvalidParameterError(
+                f"unknown search strategy {self.search!r}")
+
+    def sample_hashes(self, rng: RandomSource) -> List[LinearHash]:
+        n = self.formula.num_vars
+        return presampled_hashes(self.hashes, self.repetitions,
+                                 ToeplitzHashFamily(n, n), rng)
+
+    def run_repetition(self, h: LinearHash) -> Tuple[Tuple[int, int], int]:
+        oracle = (NpOracle(self.formula, backend=self.backend)
+                  if isinstance(self.formula, CnfFormula) else None)
+        cells = cell_search_for(self.formula, h, self.thresh, oracle=oracle,
+                                incremental=self.incremental)
+        count, level = _STRATEGIES[self.search](cells)
+        return (count, level), oracle.calls if oracle is not None else 0
+
+    def aggregate(self, tasks, sketches, oracle_calls) -> ApproxCountResult:
+        raw = [count * float(1 << level) for count, level in sketches]
+        return ApproxCountResult.from_repetitions(raw, sketches,
+                                                  oracle_calls)
 
 
 def approx_mc(
@@ -135,59 +172,22 @@ def approx_mc(
     incremental: bool = True,
     workers: int = 1,
     executor: Optional[Executor] = None,
+    backend: Optional[str] = None,
 ) -> CountResult:
     """Run ApproxMC; see module docstring.
 
-    ``hashes`` overrides the sampled hash functions (the sketch-equivalence
-    experiment feeds the same functions to the streaming side).  For CNF a
-    fresh :class:`NpOracle` is created and its call count reported; DNF runs
-    entirely in polynomial time (``oracle_calls == 0``).  ``incremental``
-    selects between the shared-solver engine and the fresh-solver baseline
-    on the CNF path (identical estimates either way).
-
-    ``workers`` / ``executor`` fan the repetitions out over a process
-    pool (one independent :class:`CellSearchEngine` per repetition; the
-    hash functions are pre-sampled in the parent, so estimates,
-    per-repetition sketches and oracle-call totals are bit-identical to
-    the serial run).  ``workers=1`` keeps the serial loop untouched.
+    Thin wrapper over :class:`BucketingStrategy` + the shared
+    :class:`~repro.core.engine.RepetitionEngine`.  ``hashes`` overrides
+    the sampled hash functions.  For CNF each repetition draws from a
+    fresh :class:`NpOracle` on the named ``backend`` and the totals are
+    summed; DNF runs entirely in polynomial time (``oracle_calls == 0``).
+    ``workers`` / ``executor`` fan repetitions over a process pool with
+    estimates, per-repetition sketches and oracle-call totals
+    bit-identical to the serial run.
     """
-    if search not in _STRATEGIES:
-        raise InvalidParameterError(f"unknown search strategy {search!r}")
-    n = formula.num_vars
-    thresh = params.thresh
-    reps = params.repetitions
-    if hashes is None:
-        family = ToeplitzHashFamily(n, n)
-        hashes = [family.sample(rng) for _ in range(reps)]
-    elif len(hashes) < reps:
-        raise InvalidParameterError("not enough hash functions supplied")
-
-    with executor_for(workers, executor) as ex:
-        if ex.is_serial:
-            oracle = (NpOracle(formula)
-                      if isinstance(formula, CnfFormula) else None)
-            find_level = _STRATEGIES[search]
-            results = []
-            for i in range(reps):
-                cells = cell_search_for(formula, hashes[i], thresh,
-                                        oracle=oracle,
-                                        incremental=incremental)
-                count, level = find_level(cells)
-                results.append((count, level, 0))
-            calls = oracle.calls if oracle is not None else 0
-        else:
-            shared = (formula, thresh, search, incremental)
-            results = ex.map(_approxmc_repetition, list(hashes[:reps]),
-                             shared=shared)
-            calls = sum(r[2] for r in results)
-
-    raw: List[float] = [count * float(1 << level)
-                        for count, level, _ in results]
-    sketches = [(count, level) for count, level, _ in results]
-
-    return CountResult(
-        estimate=median(raw),
-        oracle_calls=calls,
-        raw_estimates=raw,
-        iteration_sketches=sketches,
-    )
+    strategy = BucketingStrategy(
+        formula=formula, thresh=params.thresh,
+        repetitions=params.repetitions, search=search,
+        incremental=incremental, backend=backend, hashes=hashes)
+    return RepetitionEngine(strategy).run(rng, workers=workers,
+                                          executor=executor)

@@ -80,7 +80,11 @@ def bounded_sat(formula: Formula, h: LinearHash, m: int, p: int,
     """Dispatch on representation; see module docstring.
 
     For CNF an :class:`NpOracle` must be supplied so the caller accumulates
-    the call count across a whole counting run.
+    the call count across a whole counting run; the enumeration runs on
+    whatever solver backend that oracle resolves
+    (``NpOracle(formula, backend=...)`` -- see :mod:`repro.sat.backends`),
+    so swapping the engine under every BoundedSAT consumer is a
+    construction-site change, not a rewrite here.
     """
     if isinstance(formula, DnfFormula):
         return bounded_sat_dnf(formula, h, m, p, target)

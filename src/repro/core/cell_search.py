@@ -246,16 +246,24 @@ class DnfCellSearch(CellSearch):
 def cell_search_for(formula: Formula, h: LinearHash, thresh: int,
                     oracle: Optional[NpOracle] = None,
                     target: int = 0,
-                    incremental: bool = True) -> CellSearch:
+                    incremental: bool = True,
+                    backend: Optional[str] = None) -> CellSearch:
     """Pick the cell-search implementation for a formula representation.
 
     ``incremental=False`` selects the fresh-solver CNF baseline (the DNF
-    path is polynomial either way and has no incremental variant).
+    path is polynomial either way and has no incremental variant).  On
+    the CNF path the probes ride whatever solver backend the supplied
+    ``oracle`` resolves (:mod:`repro.sat.backends`); alternatively pass a
+    ``backend`` name and a fresh :class:`NpOracle` is opened on it --
+    its call count stays readable as ``cells.oracle.calls``.
     """
     if isinstance(formula, DnfFormula):
         return DnfCellSearch(formula, h, thresh, target)
     if oracle is None:
-        raise InvalidParameterError(
-            "cell search on CNF requires an NpOracle")
+        if backend is None:
+            raise InvalidParameterError(
+                "cell search on CNF requires an NpOracle (or a backend "
+                "name to open one on)")
+        oracle = NpOracle(formula, backend=backend)
     cls = CellSearchEngine if incremental else FreshSolverCellSearch
     return cls(formula, h, thresh, oracle, target)

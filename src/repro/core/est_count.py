@@ -14,40 +14,36 @@ match the paper's ``O(1/eps^2 log n log(1/delta))`` accounting.  The paper
 knows no polynomial-time FindMaxRange for DNF (an open problem); passing a
 DNF here uses the same enumeration backend and is flagged as such in the
 result.
+
+The repetition loop lives in :class:`repro.core.engine.RepetitionEngine`;
+this module contributes :class:`EstimationStrategy` (the s-wise grid, a
+FindMaxRange sweep per repetition over the pre-enumerated solution set,
+Lemma 3 aggregation).  The wrapper handles the FM pre-pass that derives
+``r`` and threads ``backend`` into the enumeration front door
+(:func:`repro.sat.oracle.oracle_for`).
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Union
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple, Union
 
-from repro.common.errors import InvalidParameterError, UnsatisfiableError
+from repro.common.errors import InvalidParameterError
 from repro.common.rng import RandomSource
-from repro.common.stats import median
+from repro.core.engine import CounterStrategy, RepetitionEngine
 from repro.core.find_max_range import find_max_range
 from repro.core.fm_count import flajolet_martin_count
-from repro.core.results import CountResult
+from repro.core.results import ApproxCountResult, CountResult
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.kwise import KWiseHashFamily
 from repro.parallel.executor import Executor, executor_for
-from repro.sat.oracle import EnumerationOracle
+from repro.sat.oracle import EnumerationOracle, oracle_for
 from repro.streaming.base import SketchParams
 from repro.streaming.estimation import independence_for_eps
 
 Formula = Union[CnfFormula, DnfFormula]
-
-
-def _est_repetition(rep_hashes, shared) -> tuple:
-    """One repetition's FindMaxRange sweep, self-contained for a pool
-    worker.  The enumerated solution set is shipped once per worker (the
-    ``shared`` payload) instead of re-enumerating the formula per
-    repetition; each query is counted exactly as in the serial loop.
-    Returns ``(levels, oracle_calls)``."""
-    solutions, n = shared
-    oracle = EnumerationOracle(solutions)
-    levels = tuple(find_max_range(oracle, h, n) for h in rep_hashes)
-    return levels, oracle.calls
 
 
 def estimate_from_levels(levels: List[int], r: int) -> float:
@@ -61,6 +57,45 @@ def estimate_from_levels(levels: List[int], r: int) -> float:
     return math.log(1.0 - fraction) / math.log(1.0 - 2.0 ** (-r))
 
 
+@dataclass
+class EstimationStrategy(CounterStrategy):
+    """EstCount as a :class:`CounterStrategy`: an s-wise hash grid drawn
+    repetition-major, one FindMaxRange sweep per repetition against a
+    shared (frozen) solution set, Lemma 3 per sketch.
+
+    ``solutions`` is enumerated once by the wrapper and shipped to pool
+    workers inside the strategy (the engine's shared payload) -- each
+    repetition builds its own counted :class:`EnumerationOracle` view of
+    it, so query accounting matches the serial loop exactly.
+    """
+
+    solutions: FrozenSet[int]
+    num_vars: int
+    thresh: int
+    repetitions: int
+    r: int
+    independence: int
+
+    def sample_hashes(self, rng: RandomSource) -> List[list]:
+        # Repetition-major draw order: parallel runs consume the parent
+        # RNG identically to the serial loop.
+        family = KWiseHashFamily(self.num_vars, self.independence)
+        return [[family.sample(rng) for _j in range(self.thresh)]
+                for _i in range(self.repetitions)]
+
+    def run_repetition(self, rep_hashes: list) -> Tuple[Tuple[int, ...], int]:
+        oracle = EnumerationOracle(self.solutions)
+        levels = tuple(find_max_range(oracle, h, self.num_vars)
+                       for h in rep_hashes)
+        return levels, oracle.calls
+
+    def aggregate(self, tasks, sketches, oracle_calls) -> ApproxCountResult:
+        raw = [estimate_from_levels(list(levels), self.r)
+               for levels in sketches]
+        return ApproxCountResult.from_repetitions(raw, sketches,
+                                                  oracle_calls)
+
+
 def approx_model_count_est(
     formula: Formula,
     params: SketchParams,
@@ -70,17 +105,18 @@ def approx_model_count_est(
     fm_repetitions: int = 9,
     workers: int = 1,
     executor: Optional[Executor] = None,
+    backend: Optional[str] = None,
 ) -> CountResult:
     """Run ApproxModelCountEst; see module docstring.
 
     ``r`` follows Theorem 4's promise when given; otherwise it is derived
     from a parallel FlajoletMartin rough count (whose oracle calls are
-    included in the total).
-
-    ``workers`` / ``executor`` fan the repetitions (and the FM rough
-    count's) over a process pool.  Every hash is pre-sampled in the
-    parent in the serial draw order, so estimates, per-repetition level
-    vectors and call totals are bit-identical to ``workers=1``.
+    included in the total).  ``workers`` / ``executor`` fan the
+    repetitions (and the FM rough count's) over a process pool; every
+    hash is pre-sampled in the parent in the serial draw order, so
+    estimates, per-repetition level vectors and call totals are
+    bit-identical to ``workers=1``.  ``backend`` names the oracle solver
+    for the FM pre-pass and any solver-backed enumeration.
     """
     n = formula.num_vars
     if n < 1:
@@ -89,50 +125,25 @@ def approx_model_count_est(
     reps = params.repetitions
     if independence is None:
         independence = independence_for_eps(params.eps)
-    family = KWiseHashFamily(n, independence)
 
-    if isinstance(formula, DnfFormula):
-        oracle = EnumerationOracle.from_dnf(formula)
-    else:
-        oracle = EnumerationOracle.from_cnf(formula)
+    oracle = oracle_for(formula, backend=backend, polynomial_hashes=True)
     with executor_for(workers, executor) as ex:
         fm_calls = 0
         if r is None:
             fm = flajolet_martin_count(formula, rng,
                                        repetitions=fm_repetitions,
-                                       executor=ex)
+                                       executor=ex, backend=backend)
             fm_calls = fm.oracle_calls
             if fm.estimate == 0.0:
-                return CountResult(estimate=0.0, oracle_calls=fm_calls)
+                return ApproxCountResult(estimate=0.0, oracle_calls=fm_calls)
             r = fm.rough_r(n)
         if not 0 <= r <= n:
             raise InvalidParameterError("r out of range")
 
-        # Pre-sample every repetition's hashes in the serial draw order
-        # (repetition-major): parallel runs consume the parent RNG
-        # identically to the serial loop.
-        rep_hashes = [[family.sample(rng) for _j in range(thresh)]
-                      for _i in range(reps)]
+        strategy = EstimationStrategy(
+            solutions=oracle.solutions, num_vars=n, thresh=thresh,
+            repetitions=reps, r=r, independence=independence)
+        result = RepetitionEngine(strategy).run(rng, executor=ex)
 
-        if ex.is_serial:
-            results = []
-            for hashes in rep_hashes:
-                levels = tuple(find_max_range(oracle, h, n)
-                               for h in hashes)
-                results.append((levels, 0))
-            est_calls = oracle.calls
-        else:
-            results = ex.map(_est_repetition, rep_hashes,
-                             shared=(oracle.solutions, n))
-            est_calls = oracle.calls + sum(c for _, c in results)
-
-    raw: List[float] = [estimate_from_levels(list(levels), r)
-                        for levels, _ in results]
-    sketches = [levels for levels, _ in results]
-
-    return CountResult(
-        estimate=median(raw),
-        oracle_calls=est_calls + fm_calls,
-        raw_estimates=raw,
-        iteration_sketches=sketches,
-    )
+    result.oracle_calls += fm_calls
+    return result

@@ -18,10 +18,10 @@ hashes to an odd value".
 
 from __future__ import annotations
 
-from repro.sat.oracle import OracleBackend
+from repro.sat.oracle import TrailZeroOracle
 
 
-def find_max_range(oracle: OracleBackend, h, out_bits: int) -> int:
+def find_max_range(oracle: TrailZeroOracle, h, out_bits: int) -> int:
     """Largest ``t`` with a solution of trail-zero level ``>= t`` (or -1)."""
     if not oracle.exists_with_trailzero_at_least(h, 0):
         return -1

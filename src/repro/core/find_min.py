@@ -188,7 +188,14 @@ def find_min_cnf(oracle: NpOracle, h: LinearHash, p: int,
 def find_min(formula: Formula, h: LinearHash, p: int,
              oracle: Optional[NpOracle] = None,
              hashed: Optional[HashedSession] = None) -> List[int]:
-    """Dispatch FindMin on the formula representation."""
+    """Dispatch FindMin on the formula representation.
+
+    The CNF prefix search runs on whatever solver backend the supplied
+    oracle resolves (``NpOracle(formula, backend=...)`` -- see
+    :mod:`repro.sat.backends`); the descent itself only consumes
+    SAT/UNSAT answers, so every registered backend yields the same values
+    and the same call count.
+    """
     if isinstance(formula, DnfFormula):
         return find_min_dnf(formula, h, p)
     if oracle is None:

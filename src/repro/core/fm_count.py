@@ -6,21 +6,26 @@ with FindMaxRange (``O(log n)`` oracle calls, since the suffix-zero
 constraint is linear), output ``2^R`` -- a 5-factor approximation with
 probability 3/5.  The median-of-repetitions variant supplies the coarse
 parameter ``r`` for the Estimation counter with amplified confidence.
+
+The repetition loop lives in :class:`repro.core.engine.RepetitionEngine`;
+this module contributes :class:`FlajoletMartinStrategy` (XOR hash family,
+FindMaxRange per repetition, median-of-levels aggregation into the
+algorithm-specific :class:`FmCountResult`).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.common.rng import RandomSource
 from repro.common.stats import median
+from repro.core.engine import CounterStrategy, RepetitionEngine
 from repro.core.find_max_range import find_max_range
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.xor import XorHashFamily
-from repro.parallel.executor import Executor, executor_for
+from repro.parallel.executor import Executor
 from repro.sat.oracle import NpOracle
 
 Formula = Union[CnfFormula, DnfFormula]
@@ -53,40 +58,51 @@ def _max_level_dnf(formula: DnfFormula, h) -> int:
     return best
 
 
-def _fm_repetition(h, shared) -> tuple:
-    """One FM repetition, self-contained for a pool worker: the CNF path
-    builds its own oracle (fresh per repetition, exactly as the serial
-    loop does).  Returns ``(level, oracle_calls)``."""
-    formula = shared
-    if isinstance(formula, DnfFormula):
-        return _max_level_dnf(formula, h), 0
-    oracle = NpOracle(formula)
-    level = find_max_range(oracle, h, formula.num_vars)
-    return level, oracle.calls
+@dataclass
+class FlajoletMartinStrategy(CounterStrategy):
+    """The FM rough counter as a :class:`CounterStrategy`: one XOR hash
+    and one FindMaxRange binary search per repetition (polynomial affine
+    reach for DNF), median of levels -> ``2^R``."""
+
+    formula: Formula
+    repetitions: int
+    backend: Optional[str] = None
+
+    def sample_hashes(self, rng: RandomSource) -> List:
+        n = self.formula.num_vars
+        family = XorHashFamily(n, n)
+        return [family.sample(rng) for _ in range(self.repetitions)]
+
+    def run_repetition(self, h) -> Tuple[Tuple[int], int]:
+        if isinstance(self.formula, DnfFormula):
+            return (_max_level_dnf(self.formula, h),), 0
+        oracle = NpOracle(self.formula, backend=self.backend)
+        level = find_max_range(oracle, h, self.formula.num_vars)
+        return (level,), oracle.calls
+
+    def aggregate(self, tasks, sketches, oracle_calls) -> FmCountResult:
+        levels = [level for (level,) in sketches]
+        level = median(levels)
+        estimate = 0.0 if level < 0 else float(2.0 ** level)
+        return FmCountResult(estimate=estimate, oracle_calls=oracle_calls,
+                             max_levels=levels)
 
 
 def flajolet_martin_count(formula: Formula, rng: RandomSource,
                           repetitions: int = 1,
                           workers: int = 1,
                           executor: Optional[Executor] = None,
+                          backend: Optional[str] = None,
                           ) -> FmCountResult:
     """Median-of-``repetitions`` FM rough count of ``|Sol(phi)|``.
 
-    ``workers`` / ``executor`` fan the repetitions over a process pool
-    (hashes pre-sampled in the parent; levels and call totals
-    bit-identical to the serial loop).
+    Thin wrapper over :class:`FlajoletMartinStrategy` + the shared
+    :class:`~repro.core.engine.RepetitionEngine` (hashes pre-sampled in
+    the parent; levels and call totals bit-identical at any worker
+    count).  ``backend`` names the oracle solver for the CNF path.
     """
-    n = formula.num_vars
-    family = XorHashFamily(n, n)
-    hashes = [family.sample(rng) for _ in range(repetitions)]
-    with executor_for(workers, executor) as ex:
-        if ex.is_serial:
-            results = [_fm_repetition(h, formula) for h in hashes]
-        else:
-            results = ex.map(_fm_repetition, hashes, shared=formula)
-    levels = [level for level, _ in results]
-    calls = sum(c for _, c in results)
-    level = median(levels)
-    estimate = 0.0 if level < 0 else float(2.0 ** level)
-    return FmCountResult(estimate=estimate, oracle_calls=calls,
-                         max_levels=levels)
+    strategy = FlajoletMartinStrategy(formula=formula,
+                                      repetitions=repetitions,
+                                      backend=backend)
+    return RepetitionEngine(strategy).run(rng, workers=workers,
+                                          executor=executor)

@@ -11,39 +11,37 @@ solution; since ``h`` into ``3n`` bits is injective on ``Sol(phi)`` except
 with probability ``2^-n``, the sketch size itself is the exact count and we
 return it (Bar-Yossef et al.'s original rule; the paper's condensed formula
 assumes a full sketch -- see EXPERIMENTS.md deviations).
+
+The repetition loop lives in :class:`repro.core.engine.RepetitionEngine`;
+this module contributes :class:`MinimumStrategy` (hash family, FindMin,
+sketch-to-estimate rule) and keeps :func:`approx_model_count_min` as the
+thin public wrapper.  ``backend`` selects the NP-oracle solver from
+:mod:`repro.sat.backends`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.common.errors import InvalidParameterError
 from repro.common.rng import RandomSource
-from repro.common.stats import median
 from repro.core.cell_search import HashedSession
+from repro.core.engine import (
+    CounterStrategy,
+    RepetitionEngine,
+    presampled_hashes,
+)
 from repro.core.find_min import find_min
-from repro.core.results import CountResult
+from repro.core.results import ApproxCountResult, CountResult
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.hashing.base import LinearHash
 from repro.hashing.toeplitz import ToeplitzHashFamily
-from repro.parallel.executor import Executor, executor_for
+from repro.parallel.executor import Executor
 from repro.sat.oracle import NpOracle
 from repro.streaming.base import SketchParams
 
 Formula = Union[CnfFormula, DnfFormula]
-
-
-def _min_repetition(h: LinearHash, shared) -> tuple:
-    """One FindMin repetition, self-contained for a pool worker: own
-    oracle, own hashed session (sessions share no solver state, so
-    sketches and call counts match the serial loop).  Returns
-    ``(values, oracle_calls)``."""
-    formula, thresh = shared
-    oracle = NpOracle(formula) if isinstance(formula, CnfFormula) else None
-    hashed = HashedSession(oracle, h) if oracle is not None else None
-    values = find_min(formula, h, thresh, oracle=oracle, hashed=hashed)
-    return tuple(values), oracle.calls if oracle is not None else 0
 
 
 def estimate_from_min_sketch(values: Sequence[int], thresh: int,
@@ -60,6 +58,39 @@ def estimate_from_min_sketch(values: Sequence[int], thresh: int,
     return thresh * float(1 << out_bits) / largest
 
 
+@dataclass
+class MinimumStrategy(CounterStrategy):
+    """MinCount as a :class:`CounterStrategy`: Toeplitz ``n -> 3n``
+    hashes, one FindMin prefix search per repetition (a single
+    :class:`HashedSession` -- the whole search runs on assumptions
+    against one solver), Bar-Yossef's estimate rule per sketch."""
+
+    formula: Formula
+    thresh: int
+    repetitions: int
+    backend: Optional[str] = None
+    hashes: Optional[Sequence[LinearHash]] = field(default=None)
+
+    def sample_hashes(self, rng: RandomSource) -> List[LinearHash]:
+        n = self.formula.num_vars
+        return presampled_hashes(self.hashes, self.repetitions,
+                                 ToeplitzHashFamily(n, 3 * n), rng)
+
+    def run_repetition(self, h: LinearHash) -> Tuple[Tuple[int, ...], int]:
+        oracle = (NpOracle(self.formula, backend=self.backend)
+                  if isinstance(self.formula, CnfFormula) else None)
+        hashed = HashedSession(oracle, h) if oracle is not None else None
+        values = find_min(self.formula, h, self.thresh,
+                          oracle=oracle, hashed=hashed)
+        return tuple(values), oracle.calls if oracle is not None else 0
+
+    def aggregate(self, tasks, sketches, oracle_calls) -> ApproxCountResult:
+        raw = [estimate_from_min_sketch(values, self.thresh, h.out_bits)
+               for h, values in zip(tasks, sketches)]
+        return ApproxCountResult.from_repetitions(raw, sketches,
+                                                  oracle_calls)
+
+
 def approx_model_count_min(
     formula: Formula,
     params: SketchParams,
@@ -67,52 +98,18 @@ def approx_model_count_min(
     hashes: Optional[Sequence[LinearHash]] = None,
     workers: int = 1,
     executor: Optional[Executor] = None,
+    backend: Optional[str] = None,
 ) -> CountResult:
     """Run ApproxModelCountMin; see module docstring.
 
-    ``workers`` / ``executor`` fan the repetitions out over a process
-    pool (hashes pre-sampled in the parent; per-repetition sketches and
-    call totals bit-identical to serial).  ``workers=1`` keeps the
-    serial loop untouched.
+    Thin wrapper over :class:`MinimumStrategy` + the shared
+    :class:`~repro.core.engine.RepetitionEngine`.  ``workers`` /
+    ``executor`` fan the repetitions out over a process pool (hashes
+    pre-sampled in the parent; per-repetition sketches and call totals
+    bit-identical to serial); ``backend`` names the oracle solver.
     """
-    n = formula.num_vars
-    out_bits = 3 * n
-    thresh = params.thresh
-    reps = params.repetitions
-    if hashes is None:
-        family = ToeplitzHashFamily(n, out_bits)
-        hashes = [family.sample(rng) for _ in range(reps)]
-    elif len(hashes) < reps:
-        raise InvalidParameterError("not enough hash functions supplied")
-
-    with executor_for(workers, executor) as ex:
-        if ex.is_serial:
-            oracle = (NpOracle(formula)
-                      if isinstance(formula, CnfFormula) else None)
-            results = []
-            for i in range(reps):
-                # One hashed session per repetition: FindMin's whole
-                # prefix search runs on assumptions against a single
-                # solver (same substrate as the cell-search engine).
-                hashed = (HashedSession(oracle, hashes[i])
-                          if oracle is not None else None)
-                values = find_min(formula, hashes[i], thresh,
-                                  oracle=oracle, hashed=hashed)
-                results.append((tuple(values), 0))
-            calls = oracle.calls if oracle is not None else 0
-        else:
-            results = ex.map(_min_repetition, list(hashes[:reps]),
-                             shared=(formula, thresh))
-            calls = sum(r[1] for r in results)
-
-    raw: List[float] = [
-        estimate_from_min_sketch(values, thresh, hashes[i].out_bits)
-        for i, (values, _) in enumerate(results)]
-    sketches = [values for values, _ in results]
-
-    return CountResult(
-        estimate=median(raw),
-        oracle_calls=calls,
-        raw_estimates=raw,
-        iteration_sketches=sketches,
-    )
+    strategy = MinimumStrategy(
+        formula=formula, thresh=params.thresh,
+        repetitions=params.repetitions, backend=backend, hashes=hashes)
+    return RepetitionEngine(strategy).run(rng, workers=workers,
+                                          executor=executor)

@@ -49,16 +49,21 @@ class SolutionSampler:
     """Reusable sampler for one formula (amortises the rough count)."""
 
     def __init__(self, formula: Formula, rng: RandomSource,
-                 pivot: int = 24, max_attempts: int = 64) -> None:
+                 pivot: int = 24, max_attempts: int = 64,
+                 backend: Optional[str] = None) -> None:
         if pivot < 2:
             raise InvalidParameterError("pivot must be >= 2")
         self.formula = formula
         self.rng = rng
         self.pivot = pivot
         self.max_attempts = max_attempts
+        # The named oracle backend (repro.sat.backends) answers both the
+        # rough count and every cell enumeration below.
         self.oracle: Optional[NpOracle] = (
-            NpOracle(formula) if isinstance(formula, CnfFormula) else None)
-        rough = approx_mc(formula, _ROUGH_PARAMS, rng).estimate
+            NpOracle(formula, backend=backend)
+            if isinstance(formula, CnfFormula) else None)
+        rough = approx_mc(formula, _ROUGH_PARAMS, rng,
+                          backend=backend).estimate
         if rough == 0:
             raise UnsatisfiableError("cannot sample an empty solution set")
         self._rough = rough
@@ -102,7 +107,9 @@ class SolutionSampler:
 
 
 def sample_solutions(formula: Formula, rng: RandomSource, count: int,
-                     pivot: int = 24) -> List[int]:
-    """Draw ``count`` near-uniform solutions of ``formula``."""
-    sampler = SolutionSampler(formula, rng, pivot=pivot)
+                     pivot: int = 24,
+                     backend: Optional[str] = None) -> List[int]:
+    """Draw ``count`` near-uniform solutions of ``formula`` (cell probes
+    on the named oracle ``backend``)."""
+    sampler = SolutionSampler(formula, rng, pivot=pivot, backend=backend)
     return sampler.sample_many(count)

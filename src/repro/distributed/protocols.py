@@ -10,7 +10,12 @@ combines messages exactly as the centralized algorithm would.
 Sites hold DNF subformulas, so all per-site computation uses the
 polynomial-time paths (BoundedSAT/DNF, FindMin/DNF, affine max-trail-zero);
 the Estimation protocol's s-wise hashes are the one exception, handled by
-the documented enumeration substitute.
+the documented enumeration substitute.  Site oracles are built through
+:func:`repro.sat.oracle.oracle_for` -- the same front door every other
+oracle consumer uses -- so the backend registry governs distributed sites
+exactly as it governs the centralized counters (DNF sites resolve to the
+enumeration substitute; a future CNF-site protocol would inherit
+``--oracle`` selection for free).
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from repro.formulas.dnf import DnfFormula
 from repro.hashing.kwise import KWiseHashFamily
 from repro.hashing.toeplitz import ToeplitzHashFamily
 from repro.hashing.xor import XorHashFamily
-from repro.sat.oracle import EnumerationOracle
+from repro.sat.oracle import oracle_for
 from repro.streaming.base import SketchParams
 from repro.streaming.bucketing import BucketingRow
 from repro.streaming.estimation import EstimationRow, independence_for_eps
@@ -222,7 +227,7 @@ def distributed_estimation(site_formulas: Sequence[DnfFormula],
     # (entry-wise max via EstimationRow.merge).
     combined = [EstimationRow(grid[i]) for i in range(reps)]
     for formula in site_formulas:
-        oracle = EnumerationOracle.from_dnf(formula)
+        oracle = oracle_for(formula, polynomial_hashes=True)
         for i in range(reps):
             site_row = EstimationRow(grid[i])
             for j in range(thresh):

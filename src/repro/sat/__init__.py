@@ -13,22 +13,51 @@ This package is the reproduction's substitute for the paper's NP oracle
   native-vs-encoded ablation.
 * :mod:`repro.sat.oracle` -- the NP-oracle facade the counting algorithms
   talk to (call counting, model enumeration, hash-bit auxiliary variables).
+* :mod:`repro.sat.backends` -- the registry of pluggable solver backends
+  every ``NpOracle`` session resolves (``cdcl``, ``bruteforce``, and a
+  ``pysat`` adapter when python-sat is installed).
 * :mod:`repro.sat.bruteforce` -- an exhaustive reference solver used by the
   test suite.
 """
 
+from repro.sat.backends import (
+    DEFAULT_BACKEND,
+    BackendInfo,
+    SolverBackend,
+    backend_info,
+    backend_names,
+    create_solver,
+    has_backend,
+    register_backend,
+)
 from repro.sat.bruteforce import brute_force_models, brute_force_solve
 from repro.sat.encode_xor import xor_to_cnf_clauses
-from repro.sat.oracle import EnumerationOracle, NpOracle, OracleBackend
+from repro.sat.oracle import (
+    EnumerationOracle,
+    NpOracle,
+    OracleBackend,
+    TrailZeroOracle,
+    oracle_for,
+)
 from repro.sat.solver import CdclSolver, SolverStats
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "BackendInfo",
     "CdclSolver",
     "EnumerationOracle",
     "NpOracle",
     "OracleBackend",
+    "SolverBackend",
     "SolverStats",
+    "TrailZeroOracle",
+    "backend_info",
+    "backend_names",
     "brute_force_models",
     "brute_force_solve",
+    "create_solver",
+    "has_backend",
+    "oracle_for",
+    "register_backend",
     "xor_to_cnf_clauses",
 ]

@@ -19,28 +19,54 @@ through one-shot sessions: :meth:`NpOracle.cell_search` opens the
 incremental :class:`~repro.core.cell_search.CellSearchEngine`, which
 shares a single session across all levels (DESIGN.md, section
 "Incremental cell search").
+
+Which solver answers the oracle's queries is a *registry* choice, not a
+hard-wired import: ``NpOracle(formula, backend="bruteforce")`` resolves
+its solving substrate by name from :mod:`repro.sat.backends`, so every
+oracle consumer -- BoundedSAT, cell search, FindMin, FindMaxRange, the
+sampler -- rides whichever backend the caller (or the CLI's ``--oracle``
+flag) selected.  :func:`oracle_for` is the one front door that picks the
+right oracle *kind* for a formula and hash class.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Protocol, Sequence, Set
+from typing import (
+    AbstractSet,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+)
 
 from repro.common.errors import InvalidParameterError
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dnf import DnfFormula
 from repro.formulas.xor_constraint import XorConstraint
 from repro.hashing.base import LinearHash
-from repro.sat.solver import CdclSolver
+from repro.sat.backends import DEFAULT_BACKEND, SolverBackend, create_solver
 
 
-class OracleBackend(Protocol):
-    """The query interface FindMaxRange needs (Proposition 3's oracle)."""
+class TrailZeroOracle(Protocol):
+    """The query interface FindMaxRange needs (Proposition 3's oracle):
+    both :class:`NpOracle` and :class:`EnumerationOracle` satisfy it.
+
+    Not to be confused with the *solver* plugin interface of the backend
+    registry -- a new ``--oracle`` backend implements
+    :class:`repro.sat.backends.SolverBackend`, not this protocol.
+    """
 
     calls: int
 
     def exists_with_trailzero_at_least(self, h, t: int) -> bool:
         """Is there a solution ``z`` with ``TrailZero(h(z)) >= t``?"""
         ...
+
+
+#: Deprecated alias (predates the backend registry; kept for imports).
+OracleBackend = TrailZeroOracle
 
 
 class OracleSession:
@@ -55,7 +81,7 @@ class OracleSession:
     def __init__(self, oracle: "NpOracle",
                  xors: Iterable[XorConstraint] = ()) -> None:
         self._oracle = oracle
-        self._solver = CdclSolver.from_cnf(oracle.formula, xors)
+        self._solver: SolverBackend = oracle._new_solver(xors)
         self._model: Optional[int] = None
 
     def solve(self, assumptions: Sequence[int] = ()) -> bool:
@@ -138,12 +164,25 @@ class OracleSession:
 
 
 class NpOracle:
-    """Call-counting NP oracle for a CNF formula."""
+    """Call-counting NP oracle for a CNF formula.
 
-    def __init__(self, formula: CnfFormula) -> None:
+    ``backend`` names the solving substrate sessions are built on (see
+    :mod:`repro.sat.backends`); ``None`` selects the registry default.
+    The name is stored, not the solver, so oracles stay cheap to build
+    and picklable for the process-parallel repetition engine.
+    """
+
+    def __init__(self, formula: CnfFormula,
+                 backend: Optional[str] = None) -> None:
         self.formula = formula
+        #: Name of the registered solver backend sessions resolve.
+        self.backend = backend or DEFAULT_BACKEND
         #: Total satisfiability decisions issued through this oracle.
         self.calls = 0
+
+    def _new_solver(self, xors: Iterable[XorConstraint] = ()) -> SolverBackend:
+        """Instantiate this oracle's backend for one session."""
+        return create_solver(self.backend, self.formula, xors)
 
     def session(self, xors: Iterable[XorConstraint] = ()) -> OracleSession:
         """Open an incremental context (formula + fixed XOR constraints)."""
@@ -206,18 +245,24 @@ class EnumerationOracle:
     """
 
     def __init__(self, solutions: Iterable[int]) -> None:
-        self.solutions: Set[int] = set(solutions)
+        # Frozen so repetition workers can share one solution set without
+        # a defensive copy per repetition (nothing ever mutates it).
+        self.solutions: AbstractSet[int] = (
+            solutions if isinstance(solutions, frozenset)
+            else frozenset(solutions))
         self.calls = 0
 
     @classmethod
     def from_cnf(cls, formula: CnfFormula,
-                 limit: Optional[int] = None) -> "EnumerationOracle":
+                 limit: Optional[int] = None,
+                 backend: Optional[str] = None) -> "EnumerationOracle":
         """Enumerate a CNF's models (vectorised brute force when the
-        variable count permits, else an uncounted solver loop)."""
+        variable count permits, else an uncounted solver loop on the
+        named oracle backend)."""
         if formula.num_vars <= 24 and limit is None:
             from repro.core.exact import cnf_models_numpy
             return cls(cnf_models_numpy(formula))
-        oracle = NpOracle(formula)
+        oracle = NpOracle(formula, backend=backend)
         models = oracle.enumerate_models(limit=limit)
         return cls(models)
 
@@ -231,3 +276,24 @@ class EnumerationOracle:
         """One (counted) oracle query."""
         self.calls += 1
         return any(h.trail_zeros(z) >= t for z in self.solutions)
+
+
+def oracle_for(formula: Union[CnfFormula, DnfFormula],
+               backend: Optional[str] = None,
+               polynomial_hashes: bool = False
+               ) -> "Union[NpOracle, EnumerationOracle]":
+    """The one front door for building an oracle over a formula.
+
+    CNF with linear hashes gets a call-counting :class:`NpOracle` on the
+    named solver backend; queries that constrain *polynomial* (s-wise)
+    hashes -- and every DNF, whose FindMaxRange has no known polynomial
+    algorithm -- get the documented :class:`EnumerationOracle` substitute
+    (enumeration itself rides the same backend for large CNFs).  Every
+    oracle consumer that lets callers choose a backend goes through here,
+    so the registry governs them uniformly.
+    """
+    if isinstance(formula, DnfFormula):
+        return EnumerationOracle.from_dnf(formula)
+    if polynomial_hashes:
+        return EnumerationOracle.from_cnf(formula, backend=backend)
+    return NpOracle(formula, backend=backend)

@@ -76,6 +76,49 @@ class TestSampleCommand:
             assert formula.evaluate(model)
 
 
+class TestOracleSelection:
+    def test_count_oracle_backends_agree(self, cnf_file, capsys):
+        estimates = {}
+        for backend in ["cdcl", "bruteforce"]:
+            code = main(["count", cnf_file, "--algorithm", "bucketing",
+                         "--oracle", backend,
+                         "--thresh-constant", "24",
+                         "--repetitions-constant", "4"])
+            assert code == 0
+            estimates[backend] = capsys.readouterr().out.strip()
+        assert estimates["cdcl"] == estimates["bruteforce"]
+
+    def test_sample_with_oracle(self, cnf_file, capsys):
+        assert main(["sample", cnf_file, "--count", "2",
+                     "--oracle", "bruteforce"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_unknown_oracle_rejected(self, cnf_file):
+        with pytest.raises(SystemExit):
+            main(["count", cnf_file, "--oracle", "no-such-solver"])
+
+    def test_backends_command_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "cdcl (default)" in out
+        assert "bruteforce" in out
+
+
+class TestWorkersValidation:
+    def test_negative_workers_friendly_error(self, cnf_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["count", cnf_file, "--workers", "-1"])
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        assert "workers must be >= 0" in capsys.readouterr().err
+
+    def test_non_integer_workers_friendly_error(self, cnf_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["f0", "whatever.txt", "--universe-bits", "4",
+                  "--workers", "two"])
+        assert exc.value.code == 2
+        assert "invalid" in capsys.readouterr().err
+
+
 class TestF0Command:
     def test_f0_estimate(self, tmp_path, capsys):
         rng = random.Random(0)
