@@ -1,0 +1,193 @@
+"""E27 -- Service throughput and sketch wire-format footprints.
+
+"Model Counting in the Wild" argues that once the algorithms work,
+deployment-shaped concerns -- formats, interfaces, operability --
+dominate.  This benchmark measures exactly those for the sketch store
+and service layer introduced with them:
+
+* **Ingest throughput** over HTTP, both routes: server-side JSON batch
+  ingestion and the shard idiom (ingest into a local replica, upload
+  one binary merge).  The replica route is the deployment-shaped one --
+  its item throughput rides the vectorised batch paths and its network
+  cost is one sketch frame, not the stream.
+* **Query throughput**: sequential and 8-way concurrent ``estimate``
+  calls against a populated store.
+* **Concurrent-client smoke**: >= 8 threads of mixed shard uploads,
+  asserted to produce exactly the serial reference estimate (the
+  per-sketch lock discipline under real traffic).
+* **Serialized footprint** per sketch kind: wire bytes vs the sketch's
+  own ``space_bits`` accounting vs the raw distinct-set baseline
+  (``F0 * universe_bits``) -- the factor the paper's "tiny summaries"
+  claim cashes out to.
+
+Machine-readable record: ``BENCH_E27.json`` (via ``harness.emit_json``).
+"""
+
+import random
+import threading
+import time
+
+from benchmarks.harness import emit, emit_json, format_table
+from repro.service import F0Server, ServiceClient
+from repro.store import build_sketch, serialized_size
+from repro.streaming.base import SketchParams
+
+UNIVERSE_BITS = 20
+STREAM_LENGTH = 60_000
+INGEST_CHUNK = 4096
+QUERY_COUNT = 300
+CONCURRENT_CLIENTS = 8
+
+PARAMS = SketchParams(eps=0.6, delta=0.25,
+                      thresh_constant=24.0, repetitions_constant=4.0)
+
+CREATE_KWARGS = dict(eps=PARAMS.eps, delta=PARAMS.delta,
+                     thresh_constant=PARAMS.thresh_constant,
+                     repetitions_constant=PARAMS.repetitions_constant,
+                     universe_bits=UNIVERSE_BITS)
+
+SIZE_KINDS = ("minimum", "estimation", "bucketing", "fm", "exact")
+
+
+def _stream(seed=17):
+    rng = random.Random(seed)
+    return [rng.getrandbits(UNIVERSE_BITS) for _ in range(STREAM_LENGTH)]
+
+
+def _ingest_throughput(client, items):
+    """items/s for server-side JSON ingestion vs local-replica push."""
+    client.create("ingest-json", kind="minimum", seed=1, **CREATE_KWARGS)
+    start = time.perf_counter()
+    client.ingest("ingest-json", items, chunk_size=INGEST_CHUNK)
+    json_seconds = time.perf_counter() - start
+
+    client.create("ingest-push", kind="minimum", seed=1, **CREATE_KWARGS)
+    start = time.perf_counter()
+    replica = client.replica("ingest-push")
+    for i in range(0, len(items), INGEST_CHUNK):
+        replica.process_batch(items[i:i + INGEST_CHUNK])
+    client.push("ingest-push", replica)
+    push_seconds = time.perf_counter() - start
+
+    assert client.estimate("ingest-json") == client.estimate("ingest-push")
+    return (len(items) / json_seconds, len(items) / push_seconds)
+
+
+def _query_throughput(client):
+    start = time.perf_counter()
+    for _ in range(QUERY_COUNT):
+        client.estimate("ingest-push")
+    serial_qps = QUERY_COUNT / (time.perf_counter() - start)
+
+    per_thread = QUERY_COUNT // CONCURRENT_CLIENTS
+    errors = []
+
+    def worker(url):
+        try:
+            c = ServiceClient(url)
+            for _ in range(per_thread):
+                c.estimate("ingest-push")
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(client.base_url,))
+               for _ in range(CONCURRENT_CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    concurrent_qps = (per_thread * CONCURRENT_CLIENTS
+                      / (time.perf_counter() - start))
+    assert not errors
+    return serial_qps, concurrent_qps
+
+
+def _concurrent_smoke(client, url, items):
+    """>= 8 concurrent shard uploads must equal the serial reference."""
+    client.create("smoke", kind="minimum", seed=5, **CREATE_KWARGS)
+    parts = [items[i::CONCURRENT_CLIENTS]
+             for i in range(CONCURRENT_CLIENTS)]
+    errors = []
+
+    def upload(part):
+        try:
+            c = ServiceClient(url)
+            replica = build_sketch("minimum", UNIVERSE_BITS, PARAMS,
+                                   seed=5)
+            replica.process_batch(part)
+            c.push("smoke", replica)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=upload, args=(p,)) for p in parts]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    reference = build_sketch("minimum", UNIVERSE_BITS, PARAMS, seed=5)
+    reference.process_batch(items)
+    assert client.estimate("smoke") == reference.estimate()
+
+
+def _size_rows(items):
+    """Wire bytes vs space_bits vs raw-set baseline, per sketch kind."""
+    f0 = len(set(items))
+    raw_set_bytes = f0 * UNIVERSE_BITS / 8
+    rows = []
+    for kind in SIZE_KINDS:
+        sketch = build_sketch(kind, UNIVERSE_BITS, PARAMS, seed=3)
+        sketch.process_batch(items)
+        wire = serialized_size(sketch)
+        rows.append({
+            "kind": kind,
+            "wire_bytes": wire,
+            "space_bits": sketch.space_bits(),
+            "raw_set_ratio": wire / raw_set_bytes,
+            "estimate": sketch.estimate(),
+        })
+    return f0, raw_set_bytes, rows
+
+
+def test_e27_service(capsys):
+    items = _stream()
+    server = F0Server(("127.0.0.1", 0)).start_background()
+    try:
+        client = ServiceClient(server.url)
+        json_ips, push_ips = _ingest_throughput(client, items)
+        serial_qps, concurrent_qps = _query_throughput(client)
+        _concurrent_smoke(client, server.url, items)
+    finally:
+        server.stop()
+    f0, raw_set_bytes, size_rows = _size_rows(items)
+
+    table_rows = [[r["kind"], r["wire_bytes"], r["space_bits"],
+                   r["raw_set_ratio"]] for r in size_rows]
+    emit(capsys, "E27_service", "\n\n".join([
+        format_table(
+            "E27a: service throughput "
+            f"({STREAM_LENGTH} items, {QUERY_COUNT} queries)",
+            ["route", "per-second"],
+            [["ingest (server-side JSON)", json_ips],
+             ["ingest (replica + merge push)", push_ips],
+             ["query (serial)", serial_qps],
+             [f"query ({CONCURRENT_CLIENTS} clients)", concurrent_qps]]),
+        format_table(
+            f"E27b: wire footprint (F0={f0}, raw set = "
+            f"{raw_set_bytes:.0f} bytes)",
+            ["kind", "wire bytes", "space bits", "vs raw set"],
+            table_rows),
+    ]))
+    emit_json("E27", {
+        "stream_length": STREAM_LENGTH,
+        "universe_bits": UNIVERSE_BITS,
+        "f0": f0,
+        "ingest_items_per_s_json": json_ips,
+        "ingest_items_per_s_push": push_ips,
+        "query_per_s_serial": serial_qps,
+        "query_per_s_concurrent": concurrent_qps,
+        "concurrent_clients": CONCURRENT_CLIENTS,
+        "raw_set_bytes": raw_set_bytes,
+        "sketch_sizes": size_rows,
+    })

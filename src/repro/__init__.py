@@ -63,12 +63,15 @@ from repro.formulas import (
     write_dimacs_dnf,
 )
 from repro.sat import CdclSolver, NpOracle
+from repro.service import F0Server, ServiceClient
+from repro.store import SketchStore, build_sketch
 from repro.streaming import (
     BucketingF0,
     EstimationF0,
     ExactF0,
     FlajoletMartinF0,
     MinimumF0,
+    ShardedF0,
     SketchParams,
     compute_f0,
 )
@@ -95,12 +98,16 @@ __all__ = [
     "DnfTerm",
     "EstimationF0",
     "ExactF0",
+    "F0Server",
     "FlajoletMartinF0",
     "MinimumF0",
     "MultiProgression",
     "MultiRange",
     "NpOracle",
+    "ServiceClient",
+    "ShardedF0",
     "SketchParams",
+    "SketchStore",
     "StructuredF0Bucketing",
     "StructuredF0Minimum",
     "WeightFunction",
@@ -109,6 +116,7 @@ __all__ = [
     "approx_model_count_est",
     "approx_model_count_min",
     "bounded_sat",
+    "build_sketch",
     "compute_f0",
     "distributed_bucketing",
     "distributed_estimation",

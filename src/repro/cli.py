@@ -1,4 +1,4 @@
-"""Command-line interface: count, sample, and estimate F0 from the shell.
+"""Command-line interface: count, sample, estimate and serve F0.
 
 Examples::
 
@@ -9,6 +9,9 @@ Examples::
     python -m repro backends
     python -m repro f0 items.txt --universe-bits 16 --sketch minimum
     python -m repro f0 items.txt --universe-bits 16 --workers 0
+    python -m repro serve --port 8080 --snapshot sketches.bin
+    python -m repro push clicks items.txt --create --universe-bits 32
+    python -m repro query clicks
 
 ``count`` accepts DIMACS ``p cnf`` and ``p dnf`` files (sniffed from the
 problem line); ``f0`` reads one integer item per line.  ``--workers``
@@ -16,11 +19,17 @@ fans counter repetitions / stream chunks out over a process pool
 (``0`` = all cores) with bit-identical results to serial execution.
 ``--oracle`` selects the NP-oracle solver backend from the registry
 (``python -m repro backends`` lists what is installed).
+
+``serve`` runs the long-lived sketch service of :mod:`repro.service`;
+``push`` ingests an item file into a local replica of a named served
+sketch and uploads one merge; ``query`` reads its current estimate.
+See ``docs/TUTORIAL.md`` for the full service walkthrough.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from typing import List, Optional, Sequence, Union
@@ -35,6 +44,7 @@ from repro.formulas.cnf import CnfFormula
 from repro.formulas.dimacs import parse_dimacs_cnf, parse_dimacs_dnf
 from repro.formulas.dnf import DnfFormula
 from repro.sat.backends import DEFAULT_BACKEND, backend_info, backend_names
+from repro.store.factory import SKETCH_KINDS
 from repro.streaming.base import (
     DEFAULT_CHUNK_SIZE,
     SketchParams,
@@ -146,6 +156,65 @@ def _cmd_f0(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+    serve(host=args.host, port=args.port,
+          snapshot_path=args.snapshot, restore=args.restore,
+          verbose=not args.quiet)
+    return 0
+
+
+def _cmd_push(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.streaming.base import chunked
+
+    client = ServiceClient(args.server)
+    if args.create:
+        if args.sketch != "exact" and args.universe_bits is None:
+            raise SystemExit("--create needs --universe-bits for hashed "
+                             "sketches")
+        try:
+            client.create(args.name, kind=args.sketch,
+                          universe_bits=args.universe_bits or 0,
+                          eps=args.eps, delta=args.delta,
+                          thresh_constant=args.thresh_constant,
+                          repetitions_constant=args.repetitions_constant,
+                          seed=args.seed, ttl=args.ttl)
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+    try:
+        replica = client.replica(args.name)
+        total = 0
+        with open(args.items) as f:
+            items = (int(line) for line in f if line.strip())
+            for chunk in chunked(items, args.chunk_size):
+                replica.process_batch(chunk)
+                total += len(chunk)
+        client.push(args.name, replica)
+        estimate = client.estimate(args.name)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    print(f"{estimate:.6g}")
+    print(f"pushed {total} items to {args.name!r}", file=sys.stderr)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.info:
+            info = client.info(args.name)
+            for key in sorted(info):
+                print(f"{key}: {info[key]}")
+        else:
+            print(f"{client.estimate(args.name):.6g}")
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
 def _workers_arg(text: str) -> int:
     """Parse ``--workers`` with a friendly message instead of a traceback
     deep inside the executor layer."""
@@ -157,6 +226,32 @@ def _workers_arg(text: str) -> int:
         raise argparse.ArgumentTypeError(
             "workers must be >= 0 (1 = serial, 0 = all cores)")
     return value
+
+
+def _chunk_size_arg(text: str) -> int:
+    """Parse ``--chunk-size`` with a friendly message instead of an
+    InvalidParameterError traceback from deep inside ``chunked``."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "chunk size must be a positive integer")
+    return value
+
+
+def _input_file_arg(text: str) -> str:
+    """Validate an input-file argument exists up front, so a typo fails
+    with a one-line usage error instead of a FileNotFoundError traceback
+    halfway into the run.  Pipes and process substitution
+    (``/dev/stdin``, ``<(...)``) pass through -- anything readable that
+    is not a directory."""
+    if not os.path.exists(text):
+        raise argparse.ArgumentTypeError(f"no such file: {text!r}")
+    if os.path.isdir(text):
+        raise argparse.ArgumentTypeError(f"is a directory: {text!r}")
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,7 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
                             f"backends`; default {DEFAULT_BACKEND})")
 
     count = sub.add_parser("count", help="approximate model counting")
-    count.add_argument("formula", help="DIMACS cnf/dnf file")
+    count.add_argument("formula", type=_input_file_arg,
+                       help="DIMACS cnf/dnf file")
     count.add_argument("--algorithm", default="bucketing",
                        choices=["bucketing", "minimum", "estimation",
                                 "karp-luby", "exact"])
@@ -200,7 +296,8 @@ def build_parser() -> argparse.ArgumentParser:
     count.set_defaults(func=_cmd_count)
 
     sample = sub.add_parser("sample", help="near-uniform solution samples")
-    sample.add_argument("formula", help="DIMACS cnf/dnf file")
+    sample.add_argument("formula", type=_input_file_arg,
+                        help="DIMACS cnf/dnf file")
     sample.add_argument("--count", type=int, default=1)
     add_common(sample)
     add_oracle(sample)
@@ -211,20 +308,72 @@ def build_parser() -> argparse.ArgumentParser:
     backends.set_defaults(func=_cmd_backends)
 
     f0 = sub.add_parser("f0", help="distinct elements of an item stream")
-    f0.add_argument("items", help="file with one integer item per line")
+    f0.add_argument("items", type=_input_file_arg,
+                    help="file with one integer item per line")
     f0.add_argument("--universe-bits", type=int, required=True)
     f0.add_argument("--sketch", default="minimum",
-                    choices=["bucketing", "minimum", "estimation",
-                             "fm", "exact"])
+                    choices=list(SKETCH_KINDS))
     f0.add_argument("--shards", type=int, default=1,
                     help="partition the stream across this many sketch "
                          "replicas and merge (default 1)")
-    f0.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+    f0.add_argument("--chunk-size", type=_chunk_size_arg,
+                    default=DEFAULT_CHUNK_SIZE,
                     help="batch-ingestion chunk size "
                          f"(default {DEFAULT_CHUNK_SIZE})")
     add_common(f0)
     add_workers(f0)
     f0.set_defaults(func=_cmd_f0)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived F0 sketch service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (default 8080; 0 = ephemeral)")
+    serve.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="default snapshot/restore file for the "
+                            "/v1/snapshot and /v1/restore endpoints")
+    serve.add_argument("--restore", action="store_true",
+                       help="restore from --snapshot before serving "
+                            "(a missing file starts the service empty)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
+    serve.set_defaults(func=_cmd_serve)
+
+    push = sub.add_parser(
+        "push", help="ingest an item file into a served sketch")
+    push.add_argument("name", help="served sketch name")
+    push.add_argument("items", type=_input_file_arg,
+                      help="file with one integer item per line")
+    push.add_argument("--server", default="http://127.0.0.1:8080",
+                      help="service base URL (default "
+                           "http://127.0.0.1:8080)")
+    push.add_argument("--create", action="store_true",
+                      help="create the sketch first (with --sketch / "
+                           "--universe-bits / the common knobs)")
+    push.add_argument("--sketch", default="minimum",
+                      choices=list(SKETCH_KINDS))
+    push.add_argument("--universe-bits", type=int, default=None)
+    push.add_argument("--ttl", type=float, default=None,
+                      help="expire the sketch this many seconds after "
+                           "its last update (with --create)")
+    push.add_argument("--chunk-size", type=_chunk_size_arg,
+                      default=DEFAULT_CHUNK_SIZE,
+                      help="batch-ingestion chunk size "
+                           f"(default {DEFAULT_CHUNK_SIZE})")
+    add_common(push)
+    push.set_defaults(func=_cmd_push)
+
+    query = sub.add_parser(
+        "query", help="read a served sketch's current estimate")
+    query.add_argument("name", help="served sketch name")
+    query.add_argument("--server", default="http://127.0.0.1:8080",
+                       help="service base URL (default "
+                            "http://127.0.0.1:8080)")
+    query.add_argument("--info", action="store_true",
+                       help="print full metadata instead of the bare "
+                            "estimate")
+    query.set_defaults(func=_cmd_query)
     return parser
 
 

@@ -174,16 +174,45 @@ def approx_mc(
     executor: Optional[Executor] = None,
     backend: Optional[str] = None,
 ) -> CountResult:
-    """Run ApproxMC; see module docstring.
+    """Run ApproxMC (Algorithm 5); see module docstring.
 
     Thin wrapper over :class:`BucketingStrategy` + the shared
-    :class:`~repro.core.engine.RepetitionEngine`.  ``hashes`` overrides
-    the sampled hash functions.  For CNF each repetition draws from a
-    fresh :class:`NpOracle` on the named ``backend`` and the totals are
-    summed; DNF runs entirely in polynomial time (``oracle_calls == 0``).
-    ``workers`` / ``executor`` fan repetitions over a process pool with
-    estimates, per-repetition sketches and oracle-call totals
-    bit-identical to the serial run.
+    :class:`~repro.core.engine.RepetitionEngine`.
+
+    Args:
+        formula: CNF or DNF formula to count.  CNF probes go through an
+            NP oracle; DNF runs entirely in polynomial time
+            (``oracle_calls == 0``).
+        params: accuracy knobs; ``params.thresh`` bounds the cell size
+            and ``params.repetitions`` the median width.
+        rng: source for hash sampling (all randomness drawn here, in
+            the parent, before any dispatch).
+        search: level-search strategy -- ``"linear"`` (Algorithm 5
+            verbatim), ``"binary"``, or ``"galloping"``; all three
+            produce identical sketches.
+        hashes: pre-sampled hash functions overriding the family draw
+            (the sketch-equivalence experiments feed the streaming
+            side's functions here).
+        incremental: share one persistent solver session per repetition
+            across levels (the E23 engine); ``False`` restores the
+            fresh-solver-per-probe baseline.
+        workers: fan repetitions over a process pool (``0`` = all
+            cores); estimates, per-repetition sketches and oracle-call
+            totals are bit-identical to serial.
+        executor: explicit executor overriding ``workers`` (caller
+            keeps ownership).
+        backend: NP-oracle solver backend name (registry default when
+            ``None``).
+
+    Returns:
+        An :class:`~repro.core.results.ApproxCountResult` with the
+        median estimate, per-repetition sketches and the summed
+        oracle-call count.
+
+    Raises:
+        InvalidParameterError: malformed parameters, or fewer supplied
+            ``hashes`` than repetitions.
+        KeyError: unknown ``backend`` name.
     """
     strategy = BucketingStrategy(
         formula=formula, thresh=params.thresh,

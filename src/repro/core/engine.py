@@ -131,10 +131,25 @@ class RepetitionEngine:
             executor: Optional[Executor] = None):
         """Sample, dispatch, account, aggregate.
 
-        ``workers`` / ``executor`` follow the repo-wide convention
-        (:func:`repro.parallel.executor.executor_for`): ``workers=1`` is
-        the inline serial loop, ``workers=0`` means all cores, a caller-
-        supplied executor is used as-is and left open.
+        Args:
+            rng: the only randomness source; consumed entirely in the
+                parent by ``strategy.sample_hashes`` before dispatch,
+                in the serial draw order (the determinism contract).
+            workers: repetition fan-out -- ``1`` is the inline serial
+                loop, ``0`` means all cores, ``k`` a pool of that size.
+            executor: caller-supplied executor used as-is and left open
+                (overrides ``workers``); see
+                :func:`repro.parallel.executor.executor_for`.
+
+        Returns:
+            Whatever ``strategy.aggregate`` builds -- for the shipped
+            counters, an
+            :class:`~repro.core.results.ApproxCountResult` whose
+            estimate, per-repetition sketches and oracle-call total are
+            bit-identical at any worker count.
+
+        Raises:
+            InvalidParameterError: ``workers < 0``.
         """
         strategy = self.strategy
         tasks = strategy.sample_hashes(rng)

@@ -107,16 +107,36 @@ def approx_model_count_est(
     executor: Optional[Executor] = None,
     backend: Optional[str] = None,
 ) -> CountResult:
-    """Run ApproxModelCountEst; see module docstring.
+    """Run ApproxModelCountEst (Algorithm 7); see module docstring.
 
-    ``r`` follows Theorem 4's promise when given; otherwise it is derived
-    from a parallel FlajoletMartin rough count (whose oracle calls are
-    included in the total).  ``workers`` / ``executor`` fan the
-    repetitions (and the FM rough count's) over a process pool; every
-    hash is pre-sampled in the parent in the serial draw order, so
-    estimates, per-repetition level vectors and call totals are
-    bit-identical to ``workers=1``.  ``backend`` names the oracle solver
-    for the FM pre-pass and any solver-backed enumeration.
+    Args:
+        formula: CNF or DNF; trail-zero queries against the s-wise
+            polynomial hashes ride the documented enumeration oracle.
+        params: accuracy knobs (``thresh`` hash functions per
+            repetition, ``repetitions`` median width).
+        rng: hash-sampling source (parent-side, serial draw order).
+        r: Theorem 4's coarse level when the caller has the promise
+            ``2 F0 <= 2^r <= 50 F0``; derived from a parallel
+            FlajoletMartin rough count when ``None`` (its oracle calls
+            are included in the total).
+        independence: s-wise independence override (default
+            ``10 log(1/eps)``).
+        fm_repetitions: width of the FM pre-pass when ``r`` is None.
+        workers: process-pool fan-out for the repetitions and the FM
+            pre-pass; estimates, per-repetition level vectors and call
+            totals bit-identical to ``workers=1``.
+        executor: explicit executor overriding ``workers``.
+        backend: oracle solver backend for the FM pre-pass and any
+            solver-backed enumeration.
+
+    Returns:
+        An :class:`~repro.core.results.ApproxCountResult` (median of
+        per-repetition Lemma 3 estimates).
+
+    Raises:
+        InvalidParameterError: empty formula, malformed parameters, or
+            an out-of-range ``r``.
+        KeyError: unknown ``backend`` name.
     """
     n = formula.num_vars
     if n < 1:

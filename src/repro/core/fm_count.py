@@ -97,9 +97,27 @@ def flajolet_martin_count(formula: Formula, rng: RandomSource,
     """Median-of-``repetitions`` FM rough count of ``|Sol(phi)|``.
 
     Thin wrapper over :class:`FlajoletMartinStrategy` + the shared
-    :class:`~repro.core.engine.RepetitionEngine` (hashes pre-sampled in
-    the parent; levels and call totals bit-identical at any worker
-    count).  ``backend`` names the oracle solver for the CNF path.
+    :class:`~repro.core.engine.RepetitionEngine`.
+
+    Args:
+        formula: CNF (suffix-constraint NP-oracle queries) or DNF
+            (polynomial-time FindMaxRange path).
+        rng: hash-sampling source (parent-side, serial draw order).
+        repetitions: median width (one pairwise-independent hash each).
+        workers: process-pool fan-out; levels and call totals
+            bit-identical at any worker count.
+        executor: explicit executor overriding ``workers``.
+        backend: NP-oracle solver backend name for the CNF path.
+
+    Returns:
+        An :class:`FmCountResult` whose ``estimate`` is ``2^R`` for the
+        median max-trail-zero level ``R`` (a factor-5 approximation
+        with constant probability), plus ``rough_r()`` for Algorithm
+        7's promise parameter.
+
+    Raises:
+        InvalidParameterError: ``repetitions < 1`` or an empty formula.
+        KeyError: unknown ``backend`` name.
     """
     strategy = FlajoletMartinStrategy(formula=formula,
                                       repetitions=repetitions,

@@ -100,13 +100,32 @@ def approx_model_count_min(
     executor: Optional[Executor] = None,
     backend: Optional[str] = None,
 ) -> CountResult:
-    """Run ApproxModelCountMin; see module docstring.
+    """Run ApproxModelCountMin (Algorithm 6); see module docstring.
 
     Thin wrapper over :class:`MinimumStrategy` + the shared
-    :class:`~repro.core.engine.RepetitionEngine`.  ``workers`` /
-    ``executor`` fan the repetitions out over a process pool (hashes
-    pre-sampled in the parent; per-repetition sketches and call totals
-    bit-identical to serial); ``backend`` names the oracle solver.
+    :class:`~repro.core.engine.RepetitionEngine`.
+
+    Args:
+        formula: CNF (FindMin via NP-oracle prefix search) or DNF
+            (polynomial-time affine-image path).
+        params: accuracy knobs (``thresh`` minimum values kept,
+            ``repetitions`` median width).
+        rng: hash-sampling source (drawn in the parent, serial order).
+        hashes: pre-sampled ``3n``-bit hash functions overriding the
+            family draw.
+        workers: process-pool fan-out (``0`` = all cores); sketches and
+            call totals bit-identical to serial.
+        executor: explicit executor overriding ``workers``.
+        backend: NP-oracle solver backend name (default when ``None``).
+
+    Returns:
+        An :class:`~repro.core.results.ApproxCountResult` (median of
+        per-repetition Minimum estimates, summed oracle calls).
+
+    Raises:
+        InvalidParameterError: malformed parameters or too few
+            ``hashes``.
+        KeyError: unknown ``backend`` name.
     """
     strategy = MinimumStrategy(
         formula=formula, thresh=params.thresh,

@@ -29,10 +29,12 @@ from repro.distributed.protocols import (
     distributed_minimum,
 )
 from repro.distributed.lower_bound import f0_items_to_site_formulas
+from repro.distributed.store_coordinator import SketchStoreCoordinator
 
 __all__ = [
     "BitChannel",
     "DistributedResult",
+    "SketchStoreCoordinator",
     "distributed_bucketing",
     "distributed_estimation",
     "distributed_minimum",

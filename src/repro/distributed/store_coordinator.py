@@ -1,0 +1,82 @@
+"""The Section-4 coordinator combine over a *live* sketch target.
+
+The protocols in :mod:`repro.distributed.protocols` simulate one-shot
+message rounds with bit-metered channels -- faithful to the paper's
+accounting, but every sketch dies with the simulation.  This module is
+the deployment-shaped counterpart: a coordinator whose combine step is
+merge-on-put against a durable target, either an in-process
+:class:`~repro.store.store.SketchStore` or a remote F0 service through
+:class:`~repro.service.client.ServiceClient`.
+
+The flow mirrors the paper exactly.  The coordinator establishes the
+hash functions (here: builds one prototype sketch, whose seeds every
+site must share), each site ingests its local sub-stream into a
+replica, and uploads it; the target's per-sketch locking makes
+concurrent site uploads serialize, and set semantics make retries
+idempotent.  Unlike the simulation, sites may keep uploading forever
+and anyone may query between rounds -- the "ingest now, query later"
+shape the ROADMAP's service north star asks for.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional, Union
+
+from repro.service.client import ServiceClient
+from repro.store.store import SketchStore
+from repro.streaming.base import F0Sketch
+
+#: Anything a coordinator can combine into.
+StoreTarget = Union[SketchStore, ServiceClient]
+
+
+class SketchStoreCoordinator:
+    """A distributed-F0 coordinator whose state lives in a store.
+
+    Args:
+        target: an in-process :class:`SketchStore` or a
+            :class:`ServiceClient` pointed at a running F0 service.
+        name: the sketch name the protocol runs under.
+        prototype: the freshly built (empty) sketch fixing the hash
+            seeds for every site.  It is registered at the target
+            (create-or-replace) and kept locally only for
+            :meth:`replica`.
+        ttl: optional expiry (seconds since last mutation) for
+            in-process stores.
+
+    Raises:
+        ReproError: the target rejects the registration.
+    """
+
+    def __init__(self, target: StoreTarget, name: str,
+                 prototype: F0Sketch,
+                 ttl: Optional[float] = None) -> None:
+        self.target = target
+        self.name = name
+        self._prototype = copy.deepcopy(prototype)
+        if isinstance(target, SketchStore):
+            target.put(name, prototype, ttl=ttl)
+        else:
+            target.upload(name, prototype)
+
+    def replica(self) -> F0Sketch:
+        """A fresh empty sketch with the protocol's hash seeds -- what
+        the coordinator hands each site (the paper's shared-randomness
+        hash establishment)."""
+        return copy.deepcopy(self._prototype)
+
+    def submit(self, site_sketch: F0Sketch) -> None:
+        """One site's upload: merge-on-put into the named entry.
+
+        Safe to call concurrently from many sites (per-sketch locking
+        at the target) and safe to retry (set semantics).
+        """
+        if isinstance(self.target, SketchStore):
+            self.target.merge_into(self.name, site_sketch)
+        else:
+            self.target.push(self.name, site_sketch)
+
+    def estimate(self) -> float:
+        """The combined estimate over everything submitted so far."""
+        return self.target.estimate(self.name)

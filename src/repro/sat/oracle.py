@@ -166,10 +166,21 @@ class OracleSession:
 class NpOracle:
     """Call-counting NP oracle for a CNF formula.
 
-    ``backend`` names the solving substrate sessions are built on (see
-    :mod:`repro.sat.backends`); ``None`` selects the registry default.
-    The name is stored, not the solver, so oracles stay cheap to build
-    and picklable for the process-parallel repetition engine.
+    The paper measures #CNF algorithms in NP-oracle calls; ``.calls``
+    is that metric, incremented on every satisfiability decision issued
+    through any session of this oracle.
+
+    Args:
+        formula: the CNF formula all sessions solve against.
+        backend: name of the solving substrate sessions are built on
+            (see :mod:`repro.sat.backends`); ``None`` selects the
+            registry default.  The *name* is stored, not the solver, so
+            oracles stay cheap to build and picklable for the
+            process-parallel repetition engine.
+
+    Raises:
+        KeyError: an unregistered ``backend`` name (surfaced when the
+            first session is opened).
     """
 
     def __init__(self, formula: CnfFormula,
@@ -284,13 +295,25 @@ def oracle_for(formula: Union[CnfFormula, DnfFormula],
                ) -> "Union[NpOracle, EnumerationOracle]":
     """The one front door for building an oracle over a formula.
 
-    CNF with linear hashes gets a call-counting :class:`NpOracle` on the
-    named solver backend; queries that constrain *polynomial* (s-wise)
-    hashes -- and every DNF, whose FindMaxRange has no known polynomial
-    algorithm -- get the documented :class:`EnumerationOracle` substitute
-    (enumeration itself rides the same backend for large CNFs).  Every
-    oracle consumer that lets callers choose a backend goes through here,
-    so the registry governs them uniformly.
+    Every oracle consumer that lets callers choose a backend goes
+    through here, so the registry governs them uniformly.
+
+    Args:
+        formula: the CNF or DNF formula to answer queries about.
+        backend: solver backend name for NP-oracle sessions and
+            solver-backed enumeration (registry default when ``None``).
+        polynomial_hashes: ``True`` when queries will constrain s-wise
+            *polynomial* hashes, which no XOR encoding can express.
+
+    Returns:
+        A call-counting :class:`NpOracle` for CNF with linear hashes;
+        the documented :class:`EnumerationOracle` substitute for every
+        DNF (whose FindMaxRange has no known polynomial algorithm) and
+        for polynomial hashes (enumeration itself rides the named
+        backend for large CNFs).
+
+    Raises:
+        KeyError: an unregistered ``backend`` name (on first use).
     """
     if isinstance(formula, DnfFormula):
         return EnumerationOracle.from_dnf(formula)

@@ -1,0 +1,29 @@
+"""A long-lived F0 counting service over the sketch store.
+
+The streaming sketches are tiny, mergeable summaries -- exactly the
+objects a service should hold, merge, and answer from.  This package is
+the deployment shell around :class:`repro.store.SketchStore`:
+
+* :mod:`repro.service.server` -- a stdlib-only concurrent HTTP server
+  (``http.server.ThreadingHTTPServer``) exposing create / ingest-batch /
+  merge / estimate / snapshot endpoints, with per-sketch locking so
+  concurrent shard uploads serialize correctly;
+* :mod:`repro.service.client` -- a thin ``urllib``-based client whose
+  sketch payloads ride the versioned wire format of
+  :mod:`repro.store.serialize`.
+
+The CLI verbs ``python -m repro serve`` / ``repro push`` / ``repro
+query`` are thin shells over these; ``examples/service_quickstart.py``
+walks the full create -> shard-push -> query -> snapshot -> restore
+loop in one script.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import F0Server, serve
+
+__all__ = [
+    "F0Server",
+    "ServiceClient",
+    "ServiceError",
+    "serve",
+]

@@ -1,0 +1,199 @@
+"""A thin stdlib client for the F0 sketch service.
+
+:class:`ServiceClient` wraps the server's HTTP wire protocol (see
+:mod:`repro.service.server`) behind typed methods.  Sketch payloads
+travel in the versioned binary format of :mod:`repro.store.serialize`,
+so a fetched sketch is a real, live object (ingest more items into it,
+merge it, re-upload it) and an uploaded one round-trips bit-exactly.
+
+The shard-upload idiom (what ``repro push`` and the parallel workers
+use)::
+
+    client.create("clicks", kind="minimum", universe_bits=32, seed=7)
+    replica = client.replica("clicks")   # same hash seeds as the server
+    replica.process_batch(local_items)   # ingest locally, off-server
+    client.push("clicks", replica)       # one merge-on-put upload
+
+Set semantics make the flow robust: a replica fetched *after* the
+server absorbed other uploads re-merges those contents harmlessly, and
+retrying a push after a lost response cannot double-count.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import ReproError
+from repro.store.serialize import dumps, loads
+from repro.streaming.base import DEFAULT_CHUNK_SIZE, F0Sketch, chunked
+
+
+class ServiceError(ReproError):
+    """An HTTP request the service answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        #: The HTTP status code the service responded with.
+        self.status = status
+
+
+class ServiceClient:
+    """Typed access to one F0 service instance.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8080"`` (no trailing slash
+            needed).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    @staticmethod
+    def _seg(name: str) -> str:
+        """A sketch name as one URL path segment (fully quoted)."""
+        return urllib.parse.quote(name, safe="")
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 content_type: str = "application/json") -> bytes:
+        req = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": content_type} if body else {})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                message = json.loads(detail).get("error", "")
+            except ValueError:
+                message = detail.decode("utf-8", "replace")
+            raise ServiceError(exc.code, message or exc.reason) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: "
+                                  f"{exc.reason}") from exc
+
+    def _json(self, method: str, path: str,
+              payload: Optional[dict] = None) -> dict:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        return json.loads(self._request(method, path, body))
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """``GET /healthz`` -- liveness plus the live sketch count."""
+        return self._json("GET", "/healthz")
+
+    def sketches(self) -> List[str]:
+        """Names of all live sketches."""
+        return list(self._json("GET", "/v1/sketches")["sketches"])
+
+    def create(self, name: str, kind: str = "minimum",
+               universe_bits: int = 0, eps: float = 0.8,
+               delta: float = 0.2, thresh_constant: float = 96.0,
+               repetitions_constant: float = 35.0, seed: int = 0,
+               shards: int = 1, ttl: Optional[float] = None) -> dict:
+        """Create a named server-side sketch.
+
+        The arguments mirror :func:`repro.store.factory.build_sketch`;
+        repeating them locally with the same ``seed`` builds a replica
+        whose hash seeds match the server's, so its uploads merge
+        bit-exactly.
+
+        Raises:
+            ServiceError: 409 if the name already exists, 400 for
+                invalid parameters.
+        """
+        payload = {"name": name, "kind": kind,
+                   "universe_bits": universe_bits, "eps": eps,
+                   "delta": delta, "thresh_constant": thresh_constant,
+                   "repetitions_constant": repetitions_constant,
+                   "seed": seed, "shards": shards}
+        if ttl is not None:
+            payload["ttl"] = ttl
+        return self._json("POST", "/v1/sketches", payload)
+
+    def info(self, name: str) -> Dict[str, object]:
+        """Metadata: kind, estimate, space/serialized footprints, ttl."""
+        return self._json("GET", f"/v1/sketches/{self._seg(name)}")
+
+    def estimate(self, name: str) -> float:
+        """The named sketch's current F0 estimate."""
+        path = f"/v1/sketches/{self._seg(name)}/estimate"
+        return float(self._json("GET", path)["estimate"])
+
+    def delete(self, name: str) -> None:
+        """Drop the named sketch."""
+        self._json("DELETE", f"/v1/sketches/{self._seg(name)}")
+
+    def fetch(self, name: str) -> F0Sketch:
+        """Download the sketch as a live object (decoded wire frame)."""
+        path = f"/v1/sketches/{self._seg(name)}/blob"
+        return loads(self._request("GET", path))
+
+    def replica(self, name: str) -> F0Sketch:
+        """A local replica suitable for shard ingestion.
+
+        Currently implemented as :meth:`fetch` -- the replica carries
+        the server's hash seeds *and* its current contents, which set
+        semantics make harmless to re-merge on :meth:`push`.
+        """
+        return self.fetch(name)
+
+    def ingest(self, name: str, items: Iterable[int],
+               chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+        """Server-side ingestion: POST the items in JSON chunks.
+
+        Fine for small or ad-hoc streams; heavy producers should ingest
+        into a local replica and :meth:`push` one merge instead.
+        Returns the number of items sent.
+        """
+        total = 0
+        path = f"/v1/sketches/{self._seg(name)}/ingest"
+        for chunk in chunked(items, chunk_size):
+            body = {"items": [int(x) for x in chunk]}
+            reply = self._json("POST", path, body)
+            total += int(reply["ingested"])
+        return total
+
+    def upload(self, name: str, sketch: F0Sketch) -> None:
+        """Create-or-replace the named entry with a client-built sketch.
+
+        This is how a coordinator registers a prototype whose hash
+        seeds it drew itself (contrast :meth:`create`, which has the
+        *server* build the sketch from named parameters).
+        """
+        self._request("PUT", f"/v1/sketches/{self._seg(name)}",
+                      dumps(sketch),
+                      content_type="application/octet-stream")
+
+    def push(self, name: str, sketch: F0Sketch) -> None:
+        """Upload a sketch for merge-on-put into the named entry.
+
+        Raises:
+            ServiceError: 404 for an unknown name, 400 if the sketch's
+                seeds or shape are incompatible with the stored one.
+        """
+        self._request("POST", f"/v1/sketches/{self._seg(name)}/merge",
+                      dumps(sketch),
+                      content_type="application/octet-stream")
+
+    def snapshot(self, path: Optional[str] = None) -> Dict[str, object]:
+        """Ask the server to snapshot its store (to ``path`` or its
+        configured default)."""
+        payload = {"path": path} if path else {}
+        return self._json("POST", "/v1/snapshot", payload)
+
+    def restore(self, path: Optional[str] = None) -> Dict[str, object]:
+        """Ask the server to restore its store from a snapshot file."""
+        payload = {"path": path} if path else {}
+        return self._json("POST", "/v1/restore", payload)

@@ -1,0 +1,80 @@
+"""One constructor for every named sketch kind.
+
+The CLI's ``f0`` verb, the service's create endpoint and the quickstart
+examples all turn a ``(kind, universe_bits, params, seed)`` request into
+a sketch; this module is the single copy of that mapping, so the set of
+kinds a client may name and the set the store can build never drift
+apart.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.common.errors import InvalidParameterError
+from repro.streaming.base import F0Sketch, SketchParams
+from repro.streaming.bucketing import BucketingF0
+from repro.streaming.estimation import EstimationF0
+from repro.streaming.exact import ExactF0
+from repro.streaming.flajolet_martin import FlajoletMartinF0
+from repro.streaming.minimum import MinimumF0
+from repro.streaming.sharded import ShardedF0
+
+#: The sketch kinds a client may name (CLI ``--sketch``, service
+#: ``kind`` field).  Order is the display order of help strings.
+SKETCH_KINDS = ("minimum", "estimation", "bucketing", "fm", "exact")
+
+#: Default guarantee knobs for service-built sketches; matches the CLI.
+DEFAULT_PARAMS = SketchParams(eps=0.8, delta=0.2)
+
+
+def build_sketch(kind: str, universe_bits: int,
+                 params: Optional[SketchParams] = None,
+                 seed: int = 0, shards: int = 1) -> F0Sketch:
+    """Build a fresh (empty) sketch of a named kind.
+
+    Args:
+        kind: one of :data:`SKETCH_KINDS`.
+        universe_bits: width of the stream's element universe.  Ignored
+            by ``"exact"``.
+        params: accuracy parameters; :data:`DEFAULT_PARAMS` when omitted.
+        seed: RNG seed for hash sampling.  Two calls with equal
+            arguments build sketches with identical hash seeds, so their
+            outputs merge cleanly -- this is how service clients
+            construct shard replicas compatible with a server-side
+            prototype.
+        shards: wrap the sketch in a :class:`ShardedF0` with this many
+            replicas when > 1.
+
+    Returns:
+        An empty sketch implementing the full
+        :class:`~repro.streaming.base.F0Sketch` contract.
+
+    Raises:
+        InvalidParameterError: unknown ``kind``, or a non-positive
+            ``universe_bits`` for a hashed kind.
+    """
+    if kind not in SKETCH_KINDS:
+        raise InvalidParameterError(
+            f"unknown sketch kind {kind!r}; expected one of "
+            f"{', '.join(SKETCH_KINDS)}")
+    if params is None:
+        params = DEFAULT_PARAMS
+    rng = random.Random(seed)
+    if kind == "exact":
+        sketch: F0Sketch = ExactF0()
+    else:
+        if universe_bits < 1:
+            raise InvalidParameterError(
+                "universe_bits must be >= 1 for hashed sketches")
+        if kind == "fm":
+            sketch = FlajoletMartinF0(universe_bits, rng,
+                                      repetitions=params.repetitions)
+        else:
+            cls = {"minimum": MinimumF0, "estimation": EstimationF0,
+                   "bucketing": BucketingF0}[kind]
+            sketch = cls(universe_bits, params, rng)
+    if shards > 1:
+        sketch = ShardedF0(sketch, shards)
+    return sketch

@@ -1,0 +1,349 @@
+"""A thread-safe named registry of live sketches with durable snapshots.
+
+:class:`SketchStore` is the state a long-lived F0 counting service
+holds: sketches addressed by name, mutated concurrently by many
+clients, periodically snapshotted to disk, and restored after a
+restart.  It is deliberately independent of HTTP -- the service in
+:mod:`repro.service` is a thin shell over it, and embedded users (a
+worker that accumulates shard uploads, a notebook) can use it directly.
+
+Concurrency model
+-----------------
+
+A registry-wide lock guards the name map only (lookups, inserts,
+deletes -- all O(1)); every entry additionally owns its *own* lock,
+held for the duration of any sketch mutation or read-out (``ingest``,
+``merge_into``, ``estimate``).  Concurrent shard uploads against one
+name therefore serialize against each other -- ``merge`` is not
+atomic at the Python level across a sketch's rows -- while traffic on
+different names proceeds in parallel.
+
+TTL semantics
+-------------
+
+An entry created with ``ttl=T`` expires ``T`` seconds after its last
+*mutation* (create, ingest, merge, replace); reads do not refresh it.
+Expired entries are reaped lazily on access and by
+:meth:`evict_expired` (a service loop calls it periodically).  The
+clock is injectable for tests and defaults to ``time.monotonic``;
+snapshots persist each entry's ``ttl`` but restart its countdown on
+restore (a restored store has no meaningful "time since mutation").
+
+Snapshots
+---------
+
+:meth:`snapshot` writes every entry's serialized frame into one file
+-- to a temporary sibling first, then an atomic ``os.replace``, so a
+crash mid-write can never leave a half-snapshot under the target name.
+:meth:`restore` rebuilds the registry from such a file.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.common.errors import ReproError
+from repro.store.serialize import (
+    FORMAT_VERSION,
+    StoreFormatError,
+    dumps,
+    loads,
+)
+
+#: Magic of a snapshot file (one frame per stored sketch inside).
+SNAPSHOT_MAGIC = b"RF0T"
+
+
+class SketchNotFoundError(ReproError, KeyError):
+    """The named sketch does not exist (or has expired)."""
+
+
+class SketchExistsError(ReproError):
+    """A create targeted a name that is already registered."""
+
+
+class StoredSketch:
+    """One registry entry: a sketch plus its lock and lifecycle stamps."""
+
+    __slots__ = ("name", "sketch", "ttl", "created_at", "updated_at",
+                 "lock")
+
+    def __init__(self, name: str, sketch, ttl: Optional[float],
+                 now: float) -> None:
+        self.name = name
+        self.sketch = sketch
+        self.ttl = ttl
+        self.created_at = now
+        self.updated_at = now
+        self.lock = threading.Lock()
+
+    def expired(self, now: float) -> bool:
+        """Whether the TTL has elapsed since the last mutation."""
+        return self.ttl is not None and now - self.updated_at > self.ttl
+
+
+class SketchStore:
+    """Named, mergeable, snapshottable sketch registry (see module doc)."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._registry_lock = threading.RLock()
+        self._entries: Dict[str, StoredSketch] = {}
+
+    # -- name map ----------------------------------------------------------
+
+    def _entry(self, name: str) -> StoredSketch:
+        """Look up a live entry, reaping it first if expired."""
+        with self._registry_lock:
+            entry = self._entries.get(name)
+            if entry is not None and entry.expired(self._clock()):
+                del self._entries[name]
+                entry = None
+        if entry is None:
+            raise SketchNotFoundError(name)
+        return entry
+
+    def create(self, name: str, sketch, ttl: Optional[float] = None) -> None:
+        """Register a sketch under a fresh name.
+
+        Raises:
+            SketchExistsError: the name is already registered (and not
+                expired).
+        """
+        if ttl is not None and ttl <= 0:
+            raise ReproError("ttl must be positive (or None for no expiry)")
+        now = self._clock()
+        with self._registry_lock:
+            existing = self._entries.get(name)
+            if existing is not None and not existing.expired(now):
+                raise SketchExistsError(f"sketch {name!r} already exists")
+            self._entries[name] = StoredSketch(name, sketch, ttl, now)
+
+    def delete(self, name: str) -> None:
+        """Remove a sketch; raises :class:`SketchNotFoundError` if absent."""
+        with self._registry_lock:
+            if name not in self._entries:
+                raise SketchNotFoundError(name)
+            del self._entries[name]
+
+    def names(self) -> List[str]:
+        """Live sketch names, sorted (expired entries excluded)."""
+        now = self._clock()
+        with self._registry_lock:
+            return sorted(n for n, e in self._entries.items()
+                          if not e.expired(now))
+
+    def __contains__(self, name: str) -> bool:
+        now = self._clock()
+        with self._registry_lock:
+            entry = self._entries.get(name)
+            return entry is not None and not entry.expired(now)
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    # -- sketch operations (entry-locked) ----------------------------------
+
+    def get(self, name: str):
+        """The live sketch object itself (callers share it; mutate only
+        through the store so the entry lock applies)."""
+        return self._entry(name).sketch
+
+    def ingest(self, name: str, items: Iterable[int]) -> int:
+        """Feed a batch of items through the sketch's batch path.
+
+        Returns the number of items ingested.  Runs under the entry
+        lock, so concurrent ingests against one name serialize.
+        """
+        entry = self._entry(name)
+        batch = items if isinstance(items, (list, tuple)) else list(items)
+        with entry.lock:
+            entry.sketch.process_batch(batch)
+            entry.updated_at = self._clock()
+        return len(batch)
+
+    def merge_into(self, name: str, incoming) -> None:
+        """Merge-on-put: fold an uploaded sketch into the stored one.
+
+        This is the coordinator combine as a storage primitive -- shard
+        workers build replicas with the prototype's seeds, ingest their
+        partition, and upload; the store folds each upload in under the
+        entry lock, so any number of concurrent shard uploads serialize
+        correctly.
+
+        Raises:
+            SketchNotFoundError: no sketch is registered under ``name``.
+            ReproError: the sketches are incompatible (different widths
+                or hash seeds -- surfaced from the sketch's own
+                ``merge`` check).
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            entry.sketch.merge(incoming)
+            entry.updated_at = self._clock()
+
+    def put(self, name: str, sketch, ttl: Optional[float] = None,
+            merge: bool = False) -> None:
+        """Store a sketch: create, replace, or (``merge=True``) fold into
+        an existing entry; absent names are created either way."""
+        try:
+            if merge:
+                self.merge_into(name, sketch)
+                return
+        except SketchNotFoundError:
+            pass
+        now = self._clock()
+        with self._registry_lock:
+            existing = self._entries.get(name)
+            if existing is None or existing.expired(now) or not merge:
+                self._entries[name] = StoredSketch(name, sketch, ttl, now)
+                return
+        # A concurrent create slipped in between the failed merge and the
+        # registry lock; retry the merge against it.
+        self.merge_into(name, sketch)
+
+    def estimate(self, name: str) -> float:
+        """The named sketch's current F0 estimate (entry-locked)."""
+        entry = self._entry(name)
+        with entry.lock:
+            return entry.sketch.estimate()
+
+    def info(self, name: str) -> Dict[str, object]:
+        """Metadata for one entry: kind, estimate, footprints, stamps."""
+        entry = self._entry(name)
+        with entry.lock:
+            sketch = entry.sketch
+            blob = dumps(sketch)
+            return {
+                "name": name,
+                "kind": type(sketch).__name__,
+                "estimate": sketch.estimate(),
+                "space_bits": sketch.space_bits(),
+                "serialized_bytes": len(blob),
+                "ttl": entry.ttl,
+                "age_seconds": self._clock() - entry.updated_at,
+            }
+
+    def serialized(self, name: str) -> bytes:
+        """The named sketch's wire frame (entry-locked snapshot of it)."""
+        entry = self._entry(name)
+        with entry.lock:
+            return dumps(entry.sketch)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def evict_expired(self) -> List[str]:
+        """Reap every expired entry; returns the evicted names."""
+        now = self._clock()
+        with self._registry_lock:
+            dead = [n for n, e in self._entries.items() if e.expired(now)]
+            for n in dead:
+                del self._entries[n]
+        return sorted(dead)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self, path: str) -> int:
+        """Atomically persist every live entry to ``path``.
+
+        The file is written to a temporary sibling and moved into place
+        with ``os.replace``, so readers never observe a partial
+        snapshot.  Returns the number of sketches written.
+        """
+        now = self._clock()
+        with self._registry_lock:
+            entries = [e for e in self._entries.values()
+                       if not e.expired(now)]
+        # Serialize outside the registry lock (dumps of a large sketch
+        # is slow; the name-map lock must stay O(1)-held), under each
+        # entry's own lock so the frame is internally consistent.
+        frames = []
+        for entry in entries:
+            with entry.lock:
+                frames.append((entry.name, entry.ttl,
+                               dumps(entry.sketch)))
+        out = [SNAPSHOT_MAGIC, struct.pack("<H", FORMAT_VERSION),
+               struct.pack("<I", len(frames))]
+        for name, ttl, blob in frames:
+            encoded = name.encode("utf-8")
+            out.append(struct.pack("<I", len(encoded)))
+            out.append(encoded)
+            out.append(struct.pack("<B", 0 if ttl is None else 1))
+            out.append(struct.pack("<d", 0.0 if ttl is None else ttl))
+            out.append(struct.pack("<I", len(blob)))
+            out.append(blob)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(prefix=".sketchstore-", dir=directory)
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(b"".join(out))
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(frames)
+
+    def restore(self, path: str, replace: bool = True) -> int:
+        """Rebuild the registry from a :meth:`snapshot` file.
+
+        Args:
+            path: snapshot file to read.
+            replace: drop current entries first (default); with
+                ``False``, snapshot entries overwrite same-named entries
+                and leave others alone.
+
+        Returns:
+            The number of sketches restored.
+
+        Raises:
+            StoreFormatError: the file is not a snapshot, is from an
+                unknown version, or holds a malformed frame.
+        """
+        with open(path, "rb") as f:
+            data = f.read()
+        view = memoryview(data)
+        pos = 0
+
+        def take(n: int) -> bytes:
+            nonlocal pos
+            if pos + n > len(view):
+                raise StoreFormatError("truncated snapshot")
+            chunk = bytes(view[pos:pos + n])
+            pos += n
+            return chunk
+
+        if take(4) != SNAPSHOT_MAGIC:
+            raise StoreFormatError("bad magic: not a sketch-store snapshot")
+        (version,) = struct.unpack("<H", take(2))
+        if version != FORMAT_VERSION:
+            raise StoreFormatError(
+                f"unsupported snapshot version {version}")
+        (count,) = struct.unpack("<I", take(4))
+        loaded = []
+        for _ in range(count):
+            (name_len,) = struct.unpack("<I", take(4))
+            name = take(name_len).decode("utf-8")
+            (has_ttl,) = struct.unpack("<B", take(1))
+            (ttl_value,) = struct.unpack("<d", take(8))
+            (blob_len,) = struct.unpack("<I", take(4))
+            sketch = loads(take(blob_len))
+            loaded.append((name, ttl_value if has_ttl else None, sketch))
+        if pos != len(view):
+            raise StoreFormatError("trailing bytes after snapshot")
+        now = self._clock()
+        with self._registry_lock:
+            if replace:
+                self._entries.clear()
+            for name, ttl, sketch in loaded:
+                self._entries[name] = StoredSketch(name, sketch, ttl, now)
+        return len(loaded)

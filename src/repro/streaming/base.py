@@ -112,6 +112,12 @@ class F0Sketch(Protocol):
         """Transmittable footprint (distributed accounting)."""
         ...
 
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned wire format of
+        :mod:`repro.store.serialize` (``loads`` round-trips to
+        bit-identical ``estimate``/``merge`` behaviour)."""
+        ...
+
 
 def chunked(stream: Iterable[int],
             chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[Sequence[int]]:
@@ -141,7 +147,8 @@ def chunked(stream: Iterable[int],
 def compute_f0(stream: Iterable[int], estimator: F0Estimator,
                chunk_size: int = DEFAULT_CHUNK_SIZE,
                workers: int = 1,
-               executor: Optional[Executor] = None) -> float:
+               executor: Optional[Executor] = None,
+               wire: str = "pickle") -> float:
     """The paper's Algorithm 1 driver, chunked.
 
     The stream (any iterable, including generators) is cut into chunks
@@ -152,11 +159,28 @@ def compute_f0(stream: Iterable[int], estimator: F0Estimator,
     ``workers=k`` (or an explicit ``executor``) scatters the chunks over
     a process pool: ``k`` replicas of the estimator (same hash seeds)
     each ingest a round-robin chunk partition in their own worker, and
-    the pickled replicas are merged back into ``estimator``.  Set
-    semantics make the result bit-identical to ``workers=1``.  The
-    parallel path needs the full :class:`F0Sketch` contract
-    (``process_batch`` + ``merge``); estimators without it fall back to
-    serial ingestion.
+    the replicas are merged back into ``estimator``.  Set semantics make
+    the result bit-identical to ``workers=1``.  The parallel path needs
+    the full :class:`F0Sketch` contract (``process_batch`` + ``merge``);
+    estimators without it fall back to serial ingestion.
+
+    Args:
+        stream: the items to count distinct elements over.
+        estimator: any :class:`F0Estimator`; the parallel path
+            additionally needs ``process_batch`` and ``merge``.
+        chunk_size: items per ingestion chunk (must be >= 1).
+        workers: process-pool width (``0`` = all cores, ``1`` = serial).
+        executor: explicit executor overriding ``workers`` (the caller
+            keeps ownership and must close it).
+        wire: replica transport under a pool -- ``"pickle"`` (default)
+            or ``"store"`` for the versioned binary frames of
+            :mod:`repro.store.serialize`.
+
+    Returns:
+        The estimator's estimate after the whole stream is ingested.
+
+    Raises:
+        InvalidParameterError: ``chunk_size`` < 1 or ``workers`` < 0.
     """
     with executor_for(workers, executor) as ex:
         if (not ex.is_serial and hasattr(estimator, "merge")
@@ -164,7 +188,7 @@ def compute_f0(stream: Iterable[int], estimator: F0Estimator,
             replicas = [copy.deepcopy(estimator)
                         for _ in range(ex.workers)]
             replicas = ingest_stream_parallel(
-                ex, replicas, chunked(stream, chunk_size))
+                ex, replicas, chunked(stream, chunk_size), wire=wire)
             for replica in replicas:
                 estimator.merge(replica)
             return estimator.estimate()

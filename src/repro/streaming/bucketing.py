@@ -189,3 +189,15 @@ class BucketingF0:
         """Rough footprint: seed bits plus bucket contents, per row."""
         return sum(row.h.seed_bits + len(row.bucket) * self.universe_bits
                    for row in self.rows)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned wire format (see
+        :mod:`repro.store.serialize`)."""
+        from repro.store.serialize import dumps
+        return dumps(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BucketingF0":
+        """Decode a frame produced by :meth:`to_bytes`."""
+        from repro.store.serialize import loads_typed
+        return loads_typed(data, cls)

@@ -174,3 +174,15 @@ class EstimationF0:
             sum(h.seed_bits for h in row.hashes)
             + len(row.maxima) * counter_bits
             for row in self.rows)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned wire format (see
+        :mod:`repro.store.serialize`)."""
+        from repro.store.serialize import dumps
+        return dumps(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EstimationF0":
+        """Decode a frame produced by :meth:`to_bytes`."""
+        from repro.store.serialize import loads_typed
+        return loads_typed(data, cls)

@@ -36,3 +36,15 @@ class ExactF0:
     def space_bits(self) -> int:
         """Bits held: the stored elements themselves (no seeds)."""
         return sum(max(1, x.bit_length()) for x in self._seen)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned wire format (see
+        :mod:`repro.store.serialize`)."""
+        from repro.store.serialize import dumps
+        return dumps(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ExactF0":
+        """Decode a frame produced by :meth:`to_bytes`."""
+        from repro.store.serialize import loads_typed
+        return loads_typed(data, cls)

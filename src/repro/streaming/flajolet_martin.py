@@ -89,3 +89,15 @@ class FlajoletMartinF0:
         """Seed bits plus one trail-zero counter per repetition."""
         counter_bits = max(1, self.universe_bits.bit_length())
         return sum(h.seed_bits + counter_bits for h in self.hashes)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned wire format (see
+        :mod:`repro.store.serialize`)."""
+        from repro.store.serialize import dumps
+        return dumps(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FlajoletMartinF0":
+        """Decode a frame produced by :meth:`to_bytes`."""
+        from repro.store.serialize import loads_typed
+        return loads_typed(data, cls)

@@ -36,10 +36,16 @@ from repro.streaming.base import DEFAULT_CHUNK_SIZE, F0Sketch, chunked
 class ShardedF0:
     """Round-robin partition of a stream across ``k`` sketch replicas.
 
-    ``prototype`` must be a freshly built (empty) sketch implementing the
-    :class:`~repro.streaming.base.F0Sketch` contract; it becomes shard 0
-    and the remaining ``shards - 1`` replicas are deep copies, so all
-    shards share identical hash seeds and merge cleanly.
+    Args:
+        prototype: a freshly built (empty) sketch implementing the
+            :class:`~repro.streaming.base.F0Sketch` contract; it
+            becomes shard 0 and the remaining ``shards - 1`` replicas
+            are deep copies, so all shards share identical hash seeds
+            and merge cleanly.
+        shards: number of replicas (>= 1).
+
+    Raises:
+        InvalidParameterError: ``shards < 1``.
     """
 
     def __init__(self, prototype: F0Sketch, shards: int) -> None:
@@ -69,15 +75,27 @@ class ShardedF0:
     def process_stream(self, stream: Iterable[int],
                        chunk_size: int = DEFAULT_CHUNK_SIZE,
                        workers: int = 1,
-                       executor: Optional[Executor] = None) -> None:
+                       executor: Optional[Executor] = None,
+                       wire: str = "pickle") -> None:
         """Chunk an iterable and scatter it across the shards.
 
-        ``workers=1`` (the default) ingests inline with zero overhead.
-        ``workers=k`` (or an explicit ``executor``) scatters whole chunks
-        round-robin over a process pool: each worker owns a shard
-        replica, ingests its partition via ``process_batch``, and the
-        pickled sketches are gathered back in place of the local shards.
-        Estimates are bit-identical for any worker count.
+        Args:
+            stream: any iterable of items (generators are never fully
+                materialised).
+            chunk_size: items per ingestion chunk.
+            workers: ``1`` (the default) ingests inline with zero
+                overhead; ``k > 1`` scatters whole chunks round-robin
+                over a process pool, where each worker owns a shard
+                replica and ingests its partition via ``process_batch``.
+            executor: explicit :class:`~repro.parallel.executor.Executor`
+                to use instead of resolving ``workers`` (caller keeps
+                ownership).
+            wire: how shard replicas cross the process boundary under a
+                pool -- ``"pickle"`` (default) or ``"store"`` for the
+                versioned binary frames of :mod:`repro.store.serialize`.
+
+        Estimates are bit-identical for any worker count and either
+        wire encoding.
         """
         with executor_for(workers, executor) as ex:
             if ex.is_serial:
@@ -85,7 +103,8 @@ class ShardedF0:
                     self.process_batch(chunk)
             else:
                 self.shards = ingest_stream_parallel(
-                    ex, self.shards, chunked(stream, chunk_size))
+                    ex, self.shards, chunked(stream, chunk_size),
+                    wire=wire)
 
     def merge(self, other: "ShardedF0") -> None:
         """Fold another sharded run (same prototype seeds) shard-wise."""
@@ -109,3 +128,16 @@ class ShardedF0:
     def space_bits(self) -> int:
         """Total footprint across shards (what a k-site run would hold)."""
         return sum(shard.space_bits() for shard in self.shards)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned wire format (see
+        :mod:`repro.store.serialize`): each shard nests as its own
+        self-describing frame."""
+        from repro.store.serialize import dumps
+        return dumps(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ShardedF0":
+        """Decode a frame produced by :meth:`to_bytes`."""
+        from repro.store.serialize import loads_typed
+        return loads_typed(data, cls)

@@ -111,12 +111,103 @@ class TestWorkersValidation:
         assert exc.value.code == 2  # argparse usage error, not a traceback
         assert "workers must be >= 0" in capsys.readouterr().err
 
-    def test_non_integer_workers_friendly_error(self, cnf_file, capsys):
+    def test_non_integer_workers_friendly_error(self, tmp_path, capsys):
+        items = tmp_path / "items.txt"
+        items.write_text("1\n")
         with pytest.raises(SystemExit) as exc:
-            main(["f0", "whatever.txt", "--universe-bits", "4",
+            main(["f0", str(items), "--universe-bits", "4",
                   "--workers", "two"])
         assert exc.value.code == 2
         assert "invalid" in capsys.readouterr().err
+
+
+class TestInputValidation:
+    def test_chunk_size_zero_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "items.txt"
+        path.write_text("1\n2\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["f0", str(path), "--universe-bits", "4",
+                  "--chunk-size", "0"])
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        assert "chunk size must be a positive" in capsys.readouterr().err
+
+    def test_chunk_size_negative_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "items.txt"
+        path.write_text("1\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["f0", str(path), "--universe-bits", "4",
+                  "--chunk-size", "-5"])
+        assert exc.value.code == 2
+        assert "chunk size must be a positive" in capsys.readouterr().err
+
+    def test_chunk_size_non_integer_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "items.txt"
+        path.write_text("1\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["f0", str(path), "--universe-bits", "4",
+                  "--chunk-size", "many"])
+        assert exc.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_missing_items_file_friendly_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["f0", "no-such-items.txt", "--universe-bits", "4"])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_missing_formula_file_friendly_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["count", "no-such-formula.cnf"])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_missing_sample_formula_friendly_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sample", "no-such-formula.cnf"])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestServiceVerbs:
+    @pytest.fixture
+    def server(self):
+        from repro.service import F0Server
+        srv = F0Server(("127.0.0.1", 0)).start_background()
+        yield srv
+        srv.stop()
+
+    def test_push_create_then_query(self, server, tmp_path, capsys):
+        items = [random.Random(3).getrandbits(12) for _ in range(500)]
+        path = tmp_path / "items.txt"
+        path.write_text("\n".join(str(x) for x in items))
+        code = main(["push", "clicks", str(path), "--server", server.url,
+                     "--create", "--universe-bits", "12", "--eps", "0.5",
+                     "--thresh-constant", "24",
+                     "--repetitions-constant", "5"])
+        assert code == 0
+        pushed = float(capsys.readouterr().out.strip())
+        truth = len(set(items))
+        assert truth / 1.5 <= pushed <= truth * 1.5
+
+        assert main(["query", "clicks", "--server", server.url]) == 0
+        assert float(capsys.readouterr().out.strip()) == pushed
+
+        assert main(["query", "clicks", "--server", server.url,
+                     "--info"]) == 0
+        assert "kind: MinimumF0" in capsys.readouterr().out
+
+    def test_query_unknown_sketch_exits_with_message(self, server):
+        with pytest.raises(SystemExit) as exc:
+            main(["query", "missing", "--server", server.url])
+        assert "404" in str(exc.value.code)
+
+    def test_push_create_needs_universe_bits(self, server, tmp_path):
+        path = tmp_path / "items.txt"
+        path.write_text("1\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["push", "x", str(path), "--server", server.url,
+                  "--create"])
+        assert "universe-bits" in str(exc.value.code)
 
 
 class TestF0Command:

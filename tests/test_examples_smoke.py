@@ -20,6 +20,7 @@ EXAMPLES = [
     "network_telemetry.py",
     "coset_coverage.py",
     "paper_walkthrough.py",
+    "service_quickstart.py",
 ]
 
 

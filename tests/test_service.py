@@ -1,0 +1,329 @@
+"""End-to-end tests for the F0 sketch service.
+
+The acceptance flow (ISSUE 5): create -> parallel shard pushes ->
+merge -> query -> snapshot -> restart -> restore -> same estimate,
+plus a concurrent-client smoke with >= 8 threads returning correct
+estimates.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.service import F0Server, ServiceClient, ServiceError
+from repro.store import build_sketch
+from repro.streaming import SketchParams
+
+SMALL = SketchParams(eps=0.7, delta=0.3,
+                     thresh_constant=10.0, repetitions_constant=2.0)
+
+CREATE_KWARGS = dict(eps=SMALL.eps, delta=SMALL.delta,
+                     thresh_constant=SMALL.thresh_constant,
+                     repetitions_constant=SMALL.repetitions_constant)
+
+
+@pytest.fixture
+def server():
+    srv = F0Server(("127.0.0.1", 0)).start_background()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url)
+
+
+def stream(universe_bits, count, seed=0):
+    rng = random.Random(seed)
+    return [rng.getrandbits(universe_bits) for _ in range(count)]
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        reply = client.health()
+        assert reply["status"] == "ok"
+        assert reply["sketches"] == 0
+
+    def test_create_list_info_delete(self, client):
+        client.create("a", kind="minimum", universe_bits=16, seed=3,
+                      **CREATE_KWARGS)
+        assert client.sketches() == ["a"]
+        info = client.info("a")
+        assert info["kind"] == "MinimumF0"
+        assert info["serialized_bytes"] > 0
+        client.delete("a")
+        assert client.sketches() == []
+
+    def test_unknown_sketch_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.estimate("missing")
+        assert exc.value.status == 404
+
+    def test_duplicate_create_is_409(self, client):
+        client.create("a", universe_bits=8)
+        with pytest.raises(ServiceError) as exc:
+            client.create("a", universe_bits=8)
+        assert exc.value.status == 409
+
+    def test_invalid_create_is_400(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.create("bad", kind="no-such-kind", universe_bits=8)
+        assert exc.value.status == 400
+
+    def test_malformed_merge_payload_is_400(self, client):
+        client.create("a", universe_bits=8)
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/v1/sketches/a/merge",
+                            b"not a frame",
+                            content_type="application/octet-stream")
+        assert exc.value.status == 400
+
+    def test_incompatible_merge_is_400(self, client):
+        client.create("a", kind="minimum", universe_bits=8, seed=1,
+                      **CREATE_KWARGS)
+        foreign = build_sketch("minimum", 8, SMALL, seed=99)
+        with pytest.raises(ServiceError) as exc:
+            client.push("a", foreign)
+        assert exc.value.status == 400
+
+    def test_non_integer_ingest_is_400(self, client):
+        client.create("a", universe_bits=8)
+        with pytest.raises(ServiceError) as exc:
+            client._json("POST", "/v1/sketches/a/ingest",
+                         {"items": ["one", "two"]})
+        assert exc.value.status == 400
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client._json("GET", "/v2/everything")
+        assert exc.value.status == 404
+
+    def test_hash_frame_rejected_as_sketch(self, client):
+        """A serialized hash function must not poison an entry via PUT
+        or merge -- both reject with 400 up front."""
+        from repro.hashing.toeplitz import ToeplitzHashFamily
+        from repro.store import dumps
+        hash_blob = dumps(ToeplitzHashFamily(8, 8).sample(random.Random(0)))
+        with pytest.raises(ServiceError) as exc:
+            client._request("PUT", "/v1/sketches/poison", hash_blob,
+                            content_type="application/octet-stream")
+        assert exc.value.status == 400
+        client.create("a", universe_bits=8)
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/v1/sketches/a/merge", hash_blob,
+                            content_type="application/octet-stream")
+        assert exc.value.status == 400
+        assert client.sketches() == ["a"]  # Nothing poisoned.
+
+    def test_unroutable_names_rejected_at_create(self, client):
+        for bad in ("us/east", "a b", "q?x", "", ".hidden", "x" * 200):
+            with pytest.raises(ServiceError) as exc:
+                client.create(bad, universe_bits=8)
+            assert exc.value.status == 400, bad
+
+    def test_quoted_name_round_trip(self, client):
+        client.create("us:east-1.web", kind="exact")
+        client.ingest("us:east-1.web", [1, 2, 3])
+        assert client.estimate("us:east-1.web") == 3.0
+        client.delete("us:east-1.web")
+        assert client.sketches() == []
+
+    def test_keep_alive_survives_error_with_unread_body(self, server):
+        """An errored request whose body was never routed must not
+        corrupt the next request on the same persistent connection."""
+        import http.client
+        conn = http.client.HTTPConnection("127.0.0.1",
+                                          server.server_port, timeout=10)
+        try:
+            conn.request("POST", "/v1/nope", body=b'{"x": 1}',
+                         headers={"Content-Type": "application/json"})
+            reply = conn.getresponse()
+            assert reply.status == 404
+            reply.read()
+            conn.request("GET", "/healthz")
+            reply = conn.getresponse()
+            assert reply.status == 200
+            assert b"ok" in reply.read()
+        finally:
+            conn.close()
+
+    def test_server_side_ingest_and_estimate(self, client):
+        client.create("exact", kind="exact", **CREATE_KWARGS)
+        items = stream(16, 500, seed=2)
+        assert client.ingest("exact", items, chunk_size=128) == 500
+        assert client.estimate("exact") == float(len(set(items)))
+
+    def test_fetch_returns_live_sketch(self, client):
+        client.create("s", kind="minimum", universe_bits=16, seed=5,
+                      **CREATE_KWARGS)
+        items = stream(16, 400, seed=1)
+        client.ingest("s", items)
+        fetched = client.fetch("s")
+        reference = build_sketch("minimum", 16, SMALL, seed=5)
+        reference.process_batch(items)
+        assert fetched.estimate() == reference.estimate()
+
+    def test_ttl_expires_via_service(self, server, client):
+        clock = [0.0]
+        server.store._clock = lambda: clock[0]
+        client.create("ephemeral", kind="exact", ttl=10.0,
+                      **CREATE_KWARGS)
+        clock[0] = 11.0
+        with pytest.raises(ServiceError) as exc:
+            client.estimate("ephemeral")
+        assert exc.value.status == 404
+
+
+class TestStoreCoordinator:
+    def test_coordinator_against_local_store(self):
+        from repro.distributed import SketchStoreCoordinator
+        from repro.store import SketchStore
+
+        store = SketchStore()
+        prototype = build_sketch("minimum", 16, SMALL, seed=8)
+        coordinator = SketchStoreCoordinator(store, "dist", prototype)
+        items = stream(16, 900, seed=3)
+        parts = [items[i::3] for i in range(3)]
+        for part in parts:
+            site = coordinator.replica()
+            site.process_batch(part)
+            coordinator.submit(site)
+        reference = build_sketch("minimum", 16, SMALL, seed=8)
+        reference.process_batch(items)
+        assert coordinator.estimate() == reference.estimate()
+
+    def test_coordinator_against_live_service(self, client):
+        from repro.distributed import SketchStoreCoordinator
+
+        prototype = build_sketch("minimum", 16, SMALL, seed=8)
+        coordinator = SketchStoreCoordinator(client, "dist", prototype)
+        items = stream(16, 900, seed=3)
+        threads = []
+        for part in (items[i::3] for i in range(3)):
+            site = coordinator.replica()
+            site.process_batch(part)
+            threads.append(threading.Thread(target=coordinator.submit,
+                                            args=(site,)))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        reference = build_sketch("minimum", 16, SMALL, seed=8)
+        reference.process_batch(items)
+        assert coordinator.estimate() == reference.estimate()
+
+    def test_upload_endpoint_creates_or_replaces(self, client):
+        sketch = build_sketch("exact", 0, SMALL)
+        sketch.process_batch([1, 2, 3])
+        client.upload("uploaded", sketch)
+        assert client.estimate("uploaded") == 3.0
+        replacement = build_sketch("exact", 0, SMALL)
+        replacement.process_batch([7])
+        client.upload("uploaded", replacement)
+        assert client.estimate("uploaded") == 1.0
+
+
+class TestServedFlow:
+    def test_full_lifecycle_with_restart(self, tmp_path):
+        """create -> parallel shard pushes -> merge -> query ->
+        snapshot -> restart -> restore -> same estimate."""
+        universe_bits = 20
+        items = stream(universe_bits, 4000, seed=9)
+        snapshot = str(tmp_path / "sketches.bin")
+
+        server = F0Server(("127.0.0.1", 0),
+                          snapshot_path=snapshot).start_background()
+        try:
+            client = ServiceClient(server.url)
+            client.create("clicks", kind="minimum",
+                          universe_bits=universe_bits, seed=13,
+                          **CREATE_KWARGS)
+
+            parts = [items[i::4] for i in range(4)]
+            errors = []
+
+            def shard_push(part):
+                try:
+                    worker = ServiceClient(server.url)
+                    replica = worker.replica("clicks")
+                    replica.process_batch(part)
+                    worker.push("clicks", replica)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=shard_push, args=(p,))
+                       for p in parts]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+
+            estimate = client.estimate("clicks")
+            reference = build_sketch("minimum", universe_bits, SMALL,
+                                     seed=13)
+            reference.process_batch(items)
+            assert estimate == reference.estimate()
+
+            reply = client.snapshot()
+            assert reply["sketches"] == 1
+        finally:
+            server.stop()
+
+        # Restart: a fresh server process-equivalent, restored from disk.
+        server2 = F0Server(("127.0.0.1", 0),
+                           snapshot_path=snapshot).start_background()
+        try:
+            client2 = ServiceClient(server2.url)
+            assert client2.sketches() == []
+            assert client2.restore()["restored"] == 1
+            assert client2.estimate("clicks") == estimate
+            # The restored sketch keeps absorbing uploads bit-exactly.
+            extra = stream(universe_bits, 500, seed=77)
+            replica = client2.replica("clicks")
+            replica.process_batch(extra)
+            client2.push("clicks", replica)
+            reference = build_sketch("minimum", universe_bits, SMALL,
+                                     seed=13)
+            reference.process_batch(items + extra)
+            assert client2.estimate("clicks") == reference.estimate()
+        finally:
+            server2.stop()
+
+    def test_concurrent_clients_smoke(self, server):
+        """>= 8 threads of mixed ingest / push / query traffic; the
+        final estimate must equal the serial reference."""
+        universe_bits = 14
+        client = ServiceClient(server.url)
+        client.create("mixed", kind="minimum",
+                      universe_bits=universe_bits, seed=21,
+                      **CREATE_KWARGS)
+        items = stream(universe_bits, 2400, seed=4)
+        parts = [items[i::8] for i in range(8)]
+        errors = []
+
+        def worker(i, part):
+            try:
+                c = ServiceClient(server.url)
+                if i % 2 == 0:
+                    c.ingest("mixed", part, chunk_size=100)
+                else:
+                    replica = c.replica("mixed")
+                    replica.process_batch(part)
+                    c.push("mixed", replica)
+                assert c.estimate("mixed") > 0
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i, p))
+                   for i, p in enumerate(parts)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        reference = build_sketch("minimum", universe_bits, SMALL, seed=21)
+        reference.process_batch(items)
+        assert client.estimate("mixed") == reference.estimate()

@@ -1,0 +1,451 @@
+"""Serialization round-trip property tests and SketchStore behaviour.
+
+The wire-format acceptance bar (ISSUE 5): ``loads(dumps(sk))`` must
+yield bit-identical ``estimate()`` and ``merge()`` behaviour for every
+sketch type -- including the wide (>64-bit hash value) Minimum path and
+empty / merged states -- and corrupted or wrong-version payloads must
+raise :class:`StoreFormatError`, never a garbage estimate.
+"""
+
+import os
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.kwise import KWiseHashFamily
+from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.parallel.executor import get_executor
+from repro.parallel.streaming import ingest_stream_parallel
+from repro.store import (
+    StoreFormatError,
+    build_sketch,
+    dumps,
+    loads,
+    loads_typed,
+    serialized_size,
+)
+from repro.store.serialize import FORMAT_VERSION, MAGIC
+from repro.store.store import (
+    SketchExistsError,
+    SketchNotFoundError,
+    SketchStore,
+)
+from repro.streaming import (
+    BucketingF0,
+    ExactF0,
+    MinimumF0,
+    ShardedF0,
+    SketchParams,
+)
+
+SMALL = SketchParams(eps=0.7, delta=0.3,
+                     thresh_constant=10.0, repetitions_constant=2.0)
+
+ALL_KINDS = ["minimum", "estimation", "bucketing", "fm", "exact"]
+
+# 30-bit universes push Minimum's 3n-bit hash range to 90 bits -- the
+# multi-word (>64-bit) path the seed format must carry exactly.
+WIDE_BITS = 30
+NARROW_BITS = 12
+
+
+def make_sketch(kind, universe_bits, seed=0, shards=1):
+    return build_sketch(kind, universe_bits, SMALL, seed=seed,
+                        shards=shards)
+
+
+def stream(universe_bits, count, seed=0):
+    rng = random.Random(seed)
+    return [rng.getrandbits(universe_bits) for _ in range(count)]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ALL_KINDS + ["sharded"])
+    @pytest.mark.parametrize("universe_bits", [NARROW_BITS, WIDE_BITS])
+    def test_filled_sketch_round_trips(self, kind, universe_bits):
+        if kind == "sharded":
+            sketch = make_sketch("minimum", universe_bits, shards=3)
+        else:
+            sketch = make_sketch(kind, universe_bits)
+        sketch.process_batch(stream(universe_bits, 600))
+        clone = loads(dumps(sketch))
+        assert type(clone) is type(sketch)
+        assert clone.estimate() == sketch.estimate()
+        assert clone.space_bits() == sketch.space_bits()
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_empty_sketch_round_trips(self, kind):
+        sketch = make_sketch(kind, NARROW_BITS)
+        clone = loads(dumps(sketch))
+        assert clone.estimate() == sketch.estimate()
+        # An empty round-tripped sketch must still ingest correctly.
+        items = stream(NARROW_BITS, 300, seed=5)
+        sketch.process_batch(items)
+        clone.process_batch(items)
+        assert clone.estimate() == sketch.estimate()
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("universe_bits", [NARROW_BITS, WIDE_BITS])
+    def test_merge_behaviour_is_identical(self, kind, universe_bits):
+        """Merging round-tripped replicas == merging the originals."""
+        left = make_sketch(kind, universe_bits, seed=3)
+        right = make_sketch(kind, universe_bits, seed=3)
+        left.process_batch(stream(universe_bits, 400, seed=1))
+        right.process_batch(stream(universe_bits, 400, seed=2))
+        reference = loads(dumps(left))
+        reference.merge(right)
+
+        decoded_left = loads(dumps(left))
+        decoded_right = loads(dumps(right))
+        decoded_left.merge(decoded_right)
+        assert decoded_left.estimate() == reference.estimate()
+
+    def test_merged_state_round_trips(self):
+        a = make_sketch("minimum", WIDE_BITS, seed=7)
+        b = make_sketch("minimum", WIDE_BITS, seed=7)
+        a.process_batch(stream(WIDE_BITS, 500, seed=1))
+        b.process_batch(stream(WIDE_BITS, 500, seed=2))
+        a.merge(b)
+        assert loads(dumps(a)).estimate() == a.estimate()
+
+    def test_round_tripped_sketch_keeps_ingesting_identically(self):
+        sketch = make_sketch("bucketing", NARROW_BITS)
+        items = stream(NARROW_BITS, 800)
+        sketch.process_batch(items[:400])
+        clone = loads(dumps(sketch))
+        sketch.process_batch(items[400:])
+        clone.process_batch(items[400:])
+        assert clone.estimate() == sketch.estimate()
+
+    def test_to_bytes_from_bytes_hooks(self):
+        sketch = make_sketch("fm", NARROW_BITS)
+        sketch.process_batch(stream(NARROW_BITS, 100))
+        from repro.streaming import FlajoletMartinF0
+        clone = FlajoletMartinF0.from_bytes(sketch.to_bytes())
+        assert clone.estimate() == sketch.estimate()
+
+    def test_sharded_preserves_cursor_and_shard_count(self):
+        sharded = make_sketch("minimum", NARROW_BITS, shards=3)
+        for x in stream(NARROW_BITS, 5):
+            sharded.process(x)  # Leaves the cursor mid-rotation.
+        clone = loads(dumps(sharded))
+        assert clone.num_shards == sharded.num_shards
+        assert clone._cursor == sharded._cursor
+        tail = stream(NARROW_BITS, 50, seed=9)
+        for x in tail:
+            sharded.process(x)
+            clone.process(x)
+        assert clone.estimate() == sharded.estimate()
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_property_round_trip_any_stream(self, data):
+        kind = data.draw(st.sampled_from(ALL_KINDS))
+        universe_bits = data.draw(st.sampled_from([8, WIDE_BITS]))
+        items = data.draw(st.lists(
+            st.integers(0, 2 ** universe_bits - 1), max_size=150))
+        sketch = make_sketch(kind, universe_bits)
+        sketch.process_batch(items)
+        clone = loads(dumps(sketch))
+        assert clone.estimate() == sketch.estimate()
+        more = data.draw(st.lists(
+            st.integers(0, 2 ** universe_bits - 1), max_size=50))
+        sketch.process_batch(more)
+        clone.process_batch(more)
+        assert clone.estimate() == sketch.estimate()
+
+
+class TestHashRoundTrip:
+    def test_linear_hash_round_trips_exactly(self):
+        rng = random.Random(0)
+        h = ToeplitzHashFamily(WIDE_BITS, 3 * WIDE_BITS).sample(rng)
+        clone = loads(dumps(h))
+        assert clone.rows == h.rows
+        assert clone.offsets == h.offsets
+        assert clone.seed_bits == h.seed_bits
+        for x in stream(WIDE_BITS, 20, seed=3):
+            assert clone.value(x) == h.value(x)
+
+    def test_kwise_hash_round_trips_exactly(self):
+        rng = random.Random(1)
+        h = KWiseHashFamily(20, 5).sample(rng)
+        clone = loads(dumps(h))
+        assert clone.coeffs == h.coeffs
+        assert clone.field.n == h.field.n
+        for x in stream(20, 20, seed=4):
+            assert clone.value(x) == h.value(x)
+            assert clone.trail_zeros(x) == h.trail_zeros(x)
+
+
+class TestFormatErrors:
+    def payload(self):
+        sketch = make_sketch("minimum", NARROW_BITS)
+        sketch.process_batch(stream(NARROW_BITS, 50))
+        return dumps(sketch)
+
+    def test_bad_magic_raises(self):
+        blob = self.payload()
+        with pytest.raises(StoreFormatError):
+            loads(b"XXXX" + blob[4:])
+
+    def test_wrong_version_raises(self):
+        blob = bytearray(self.payload())
+        blob[4] = (FORMAT_VERSION + 1) & 0xFF  # Little-endian u16 low byte.
+        with pytest.raises(StoreFormatError):
+            loads(bytes(blob))
+
+    def test_unknown_kind_raises(self):
+        blob = bytearray(self.payload())
+        blob[6] = 0xEE
+        with pytest.raises(StoreFormatError):
+            loads(bytes(blob))
+
+    def test_truncated_payload_raises(self):
+        blob = self.payload()
+        with pytest.raises(StoreFormatError):
+            loads(blob[:-3])
+
+    def test_trailing_bytes_raise(self):
+        with pytest.raises(StoreFormatError):
+            loads(self.payload() + b"\x00")
+
+    def test_empty_input_raises(self):
+        with pytest.raises(StoreFormatError):
+            loads(b"")
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_corrupted_interior_never_garbage(self, kind):
+        """Flip bytes across a frame: every outcome is either a clean
+        decode or StoreFormatError -- never an unrelated exception."""
+        sketch = make_sketch(kind, NARROW_BITS)
+        sketch.process_batch(stream(NARROW_BITS, 60))
+        blob = dumps(sketch)
+        for pos in range(7, min(len(blob), 200), 11):
+            corrupted = bytearray(blob)
+            corrupted[pos] ^= 0xFF
+            try:
+                loads(bytes(corrupted))
+            except StoreFormatError:
+                pass
+
+    def test_inflated_fm_levels_rejected(self):
+        """A frame whose trail-zero levels exceed the hash range must
+        raise, not decode to an exploding 2^R estimate."""
+        sketch = make_sketch("fm", NARROW_BITS)
+        sketch.max_trail = [NARROW_BITS + 40] * len(sketch.max_trail)
+        with pytest.raises(StoreFormatError):
+            loads(dumps(sketch))
+
+    def test_inflated_estimation_levels_rejected(self):
+        sketch = make_sketch("estimation", NARROW_BITS)
+        sketch.rows[0].maxima[0] = NARROW_BITS + 1
+        with pytest.raises(StoreFormatError):
+            loads(dumps(sketch))
+
+    def test_overfull_bucketing_row_rejected(self):
+        """A bucket holding >= thresh members below the level cap
+        violates the sketch invariant; the decoder must refuse it."""
+        sketch = make_sketch("bucketing", NARROW_BITS)
+        row = sketch.rows[0]
+        for x in range(row.thresh + 5):
+            row._levels[x] = row.level
+            row.bucket.add(x)
+        with pytest.raises(StoreFormatError):
+            loads(dumps(sketch))
+
+    def test_too_wide_minimum_values_rejected(self):
+        sketch = make_sketch("minimum", NARROW_BITS)
+        row = sketch.rows[0]
+        row.insert_value(1 << (row.h.out_bits + 3))
+        with pytest.raises(StoreFormatError):
+            loads(dumps(sketch))
+
+    def test_loads_sketch_rejects_hash_frames(self):
+        from repro.store import loads_sketch
+        rng = random.Random(0)
+        blob = dumps(ToeplitzHashFamily(8, 8).sample(rng))
+        with pytest.raises(StoreFormatError):
+            loads_sketch(blob)
+        assert loads_sketch(dumps(ExactF0())).estimate() == 0.0
+
+    def test_loads_typed_mismatch(self):
+        blob = dumps(ExactF0())
+        with pytest.raises(StoreFormatError):
+            loads_typed(blob, MinimumF0)
+
+    def test_dumps_rejects_unknown_types(self):
+        with pytest.raises(StoreFormatError):
+            dumps(object())
+
+    def test_magic_is_stable(self):
+        assert dumps(ExactF0())[:4] == MAGIC
+
+    def test_serialized_size_matches_dumps(self):
+        sketch = make_sketch("bucketing", NARROW_BITS)
+        assert serialized_size(sketch) == len(dumps(sketch))
+
+
+class TestSketchStore:
+    def test_create_get_estimate_delete(self):
+        store = SketchStore()
+        store.create("a", make_sketch("exact", 0))
+        store.ingest("a", [1, 2, 3, 2])
+        assert store.estimate("a") == 3.0
+        assert "a" in store and len(store) == 1
+        store.delete("a")
+        with pytest.raises(SketchNotFoundError):
+            store.get("a")
+
+    def test_duplicate_create_raises(self):
+        store = SketchStore()
+        store.create("a", ExactF0())
+        with pytest.raises(SketchExistsError):
+            store.create("a", ExactF0())
+
+    def test_merge_on_put_unions(self):
+        store = SketchStore()
+        store.create("s", make_sketch("minimum", NARROW_BITS, seed=2))
+        upload = make_sketch("minimum", NARROW_BITS, seed=2)
+        items = stream(NARROW_BITS, 300)
+        upload.process_batch(items)
+        store.merge_into("s", upload)
+        reference = make_sketch("minimum", NARROW_BITS, seed=2)
+        reference.process_batch(items)
+        assert store.estimate("s") == reference.estimate()
+
+    def test_put_merge_creates_absent_name(self):
+        store = SketchStore()
+        sketch = ExactF0()
+        sketch.process_batch([1, 2])
+        store.put("fresh", sketch, merge=True)
+        assert store.estimate("fresh") == 2.0
+
+    def test_incompatible_merge_surfaces_error(self):
+        store = SketchStore()
+        store.create("s", make_sketch("minimum", NARROW_BITS, seed=1))
+        with pytest.raises(Exception):
+            store.merge_into("s", make_sketch("minimum", NARROW_BITS,
+                                              seed=99))
+
+    def test_concurrent_shard_uploads_serialize(self):
+        """8 threads merge-on-put into one name; the union must equal a
+        serial reference (per-sketch locking, no lost updates)."""
+        store = SketchStore()
+        store.create("s", make_sketch("minimum", NARROW_BITS, seed=4))
+        items = stream(NARROW_BITS, 1600, seed=8)
+        parts = [items[i::8] for i in range(8)]
+        errors = []
+
+        def upload(part):
+            try:
+                replica = make_sketch("minimum", NARROW_BITS, seed=4)
+                replica.process_batch(part)
+                store.merge_into("s", replica)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=upload, args=(p,))
+                   for p in parts]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        reference = make_sketch("minimum", NARROW_BITS, seed=4)
+        reference.process_batch(items)
+        assert store.estimate("s") == reference.estimate()
+
+    def test_ttl_eviction(self):
+        clock = [0.0]
+        store = SketchStore(clock=lambda: clock[0])
+        store.create("ephemeral", ExactF0(), ttl=10.0)
+        store.create("durable", ExactF0())
+        clock[0] = 5.0
+        store.ingest("ephemeral", [1])  # Mutation refreshes the TTL.
+        clock[0] = 14.0
+        assert "ephemeral" in store
+        clock[0] = 15.1
+        assert "ephemeral" not in store
+        assert store.evict_expired() == ["ephemeral"]
+        assert store.evict_expired() == []
+        assert "durable" in store
+        with pytest.raises(SketchNotFoundError):
+            store.estimate("ephemeral")
+
+    def test_evict_expired_sweep(self):
+        clock = [0.0]
+        store = SketchStore(clock=lambda: clock[0])
+        store.create("a", ExactF0(), ttl=1.0)
+        store.create("b", ExactF0(), ttl=5.0)
+        clock[0] = 2.0
+        assert store.evict_expired() == ["a"]
+        assert store.names() == ["b"]
+
+    def test_snapshot_restore_round_trip(self, tmp_path):
+        store = SketchStore()
+        for kind in ALL_KINDS:
+            sketch = make_sketch(kind, NARROW_BITS, seed=6)
+            sketch.process_batch(stream(NARROW_BITS, 200))
+            store.create(kind, sketch)
+        path = str(tmp_path / "snap.bin")
+        assert store.snapshot(path) == len(ALL_KINDS)
+
+        restored = SketchStore()
+        assert restored.restore(path) == len(ALL_KINDS)
+        assert restored.names() == store.names()
+        for kind in ALL_KINDS:
+            assert restored.estimate(kind) == store.estimate(kind)
+
+    def test_snapshot_is_atomic_under_failure(self, tmp_path):
+        """A snapshot that cannot complete must leave the old file."""
+        store = SketchStore()
+        store.create("a", ExactF0())
+        path = str(tmp_path / "snap.bin")
+        store.snapshot(path)
+        before = open(path, "rb").read()
+
+        class Broken:
+            def merge(self, other):
+                pass
+
+            def estimate(self):
+                return 0.0
+
+        store.create("bad", Broken())  # dumps() will fail on it.
+        with pytest.raises(StoreFormatError):
+            store.snapshot(path)
+        assert open(path, "rb").read() == before
+        assert [f for f in os.listdir(tmp_path)
+                if f.startswith(".sketchstore-")] == []
+
+    def test_restore_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"definitely not a snapshot")
+        with pytest.raises(StoreFormatError):
+            SketchStore().restore(str(path))
+
+
+class TestStoreWire:
+    def test_parallel_ingest_store_wire_matches_pickle(self):
+        items = stream(NARROW_BITS, 4000, seed=11)
+        chunks = [items[i:i + 256] for i in range(0, len(items), 256)]
+        results = {}
+        for wire in ("pickle", "store"):
+            sketches = [make_sketch("minimum", NARROW_BITS, seed=3)
+                        for _ in range(2)]
+            with get_executor(2) as ex:
+                out = ingest_stream_parallel(ex, sketches, chunks,
+                                             wire=wire)
+            merged = out[0]
+            merged.merge(out[1])
+            results[wire] = merged.estimate()
+        assert results["store"] == results["pickle"]
+
+    def test_unknown_wire_rejected(self):
+        with get_executor(1) as ex:
+            with pytest.raises(ValueError):
+                ingest_stream_parallel(ex, [ExactF0()], [[1]],
+                                       wire="telepathy")

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs (stdlib only).
+
+Scans the given markdown files/directories for inline links
+(``[text](target)``), and fails when a *relative* target does not
+exist, or when a ``#fragment`` does not match a heading of the target
+file (GitHub's anchor slugification).  External links (http/https/
+mailto) are recorded but not fetched -- CI must not depend on the
+network.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md DESIGN.md docs
+
+Exit status: 0 when every relative link resolves, 1 otherwise (with a
+per-link report on stderr).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor rule: lowercase, drop everything but
+    word characters / spaces / hyphens, spaces become hyphens."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: str) -> Set[str]:
+    """Every anchor a markdown file exposes (duplicates get -1, -2...)."""
+    counts: Dict[str, int] = {}
+    anchors: Set[str] = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(1))
+            seen = counts.get(slug, 0)
+            counts[slug] = seen + 1
+            anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def markdown_links(path: str) -> List[Tuple[int, str]]:
+    """``(line_number, target)`` for every inline link outside fences.
+
+    Link *text* may wrap across lines (prose reflow), so the scan runs
+    over the fence-stripped text as a whole, not line by line.
+    """
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+    kept = []
+    in_fence = False
+    for line in lines:
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            kept.append("\n")
+            continue
+        kept.append("\n" if in_fence else line)
+    text = "".join(kept)
+    return [(text[:match.start()].count("\n") + 1, match.group(1))
+            for match in LINK_RE.finditer(text)]
+
+
+def collect_markdown_files(arguments: List[str]) -> List[str]:
+    files: List[str] = []
+    for arg in arguments:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".md"))
+        elif arg.endswith(".md"):
+            files.append(arg)
+        else:
+            print(f"warning: skipping non-markdown argument {arg!r}",
+                  file=sys.stderr)
+    return files
+
+
+def check_file(path: str) -> Tuple[List[str], int]:
+    """Returns (error messages, external link count) for one file."""
+    errors: List[str] = []
+    external = 0
+    base = os.path.dirname(os.path.abspath(path))
+    for line, target in markdown_links(path):
+        if target.startswith(EXTERNAL_PREFIXES):
+            external += 1
+            continue
+        target_path, _, fragment = target.partition("#")
+        if target_path:
+            resolved = os.path.normpath(os.path.join(base, target_path))
+            if not os.path.exists(resolved):
+                errors.append(f"{path}:{line}: broken link {target!r} "
+                              f"(no such file {resolved})")
+                continue
+        else:
+            resolved = os.path.abspath(path)  # Same-file anchor.
+        if fragment:
+            if not resolved.endswith(".md") or os.path.isdir(resolved):
+                continue  # Anchors into non-markdown targets: skip.
+            if github_slug(fragment) not in heading_anchors(resolved):
+                errors.append(f"{path}:{line}: broken anchor {target!r} "
+                              f"(no heading slugs to #{fragment} in "
+                              f"{resolved})")
+    return errors, external
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = collect_markdown_files(argv)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    all_errors: List[str] = []
+    checked = external_total = 0
+    for path in files:
+        errors, external = check_file(path)
+        all_errors.extend(errors)
+        checked += 1
+        external_total += external
+    for message in all_errors:
+        print(message, file=sys.stderr)
+    status = "FAILED" if all_errors else "ok"
+    print(f"link check {status}: {checked} files, "
+          f"{len(all_errors)} broken links, "
+          f"{external_total} external links (not fetched)")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
