@@ -65,6 +65,7 @@ def emit_json(name: str, payload: Mapping[str, object]) -> str:
         "recorded_at_unix": time.time(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "available_workers": available_workers(),
     }
     record.update(payload)

@@ -10,6 +10,9 @@ Examples::
     python -m repro f0 items.txt --universe-bits 16 --sketch minimum
     python -m repro f0 items.txt --universe-bits 16 --workers 0
     python -m repro serve --port 8080 --snapshot sketches.bin
+    python -m repro serve --frontend asyncio --snapshot-on-exit exit.bin
+    python -m repro serve --cluster http://h1:8081,http://h2:8082
+    python -m repro frontends
     python -m repro push clicks items.txt --create --universe-bits 32
     python -m repro query clicks
 
@@ -20,10 +23,14 @@ fans counter repetitions / stream chunks out over a process pool
 ``--oracle`` selects the NP-oracle solver backend from the registry
 (``python -m repro backends`` lists what is installed).
 
-``serve`` runs the long-lived sketch service of :mod:`repro.service`;
-``push`` ingests an item file into a local replica of a named served
-sketch and uploads one merge; ``query`` reads its current estimate.
-See ``docs/TUTORIAL.md`` for the full service walkthrough.
+``serve`` runs the long-lived sketch service of :mod:`repro.service` --
+``--frontend`` picks the transport (``repro frontends`` lists them),
+``--snapshot-on-exit`` makes SIGTERM/SIGINT shutdowns durable, and
+``--cluster`` turns the process into a consistent-hashing gateway over
+several node services (:mod:`repro.distributed.cluster`).  ``push``
+ingests an item file into a local replica of a named served sketch and
+uploads one merge; ``query`` reads its current estimate.  See
+``docs/TUTORIAL.md`` for the full service walkthrough.
 """
 
 from __future__ import annotations
@@ -158,9 +165,51 @@ def _cmd_f0(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
-    serve(host=args.host, port=args.port,
-          snapshot_path=args.snapshot, restore=args.restore,
-          verbose=not args.quiet)
+
+    router = None
+    if args.cluster:
+        from repro.distributed.cluster import ClusterClient, ClusterRouter
+
+        nodes = [n.strip() for n in args.cluster.split(",") if n.strip()]
+        if len(nodes) < 1:
+            raise SystemExit("--cluster needs a comma-separated list "
+                             "of node service URLs")
+        if args.snapshot or args.restore or args.snapshot_on_exit:
+            raise SystemExit(
+                "--snapshot/--restore/--snapshot-on-exit are per-node "
+                "options; a --cluster gateway holds no store of its own")
+        router = ClusterRouter(
+            ClusterClient(nodes, replication=args.replication))
+    from repro.common.errors import ReproError
+    from repro.service.frontends import DEFAULT_FRONTEND, frontend_names
+
+    frontend = args.frontend or DEFAULT_FRONTEND
+    if frontend not in frontend_names():
+        raise SystemExit(
+            f"unknown front end {frontend!r}; registered: "
+            f"{', '.join(frontend_names())} (see `repro frontends`)")
+    try:
+        serve(host=args.host, port=args.port,
+              snapshot_path=args.snapshot, restore=args.restore,
+              verbose=not args.quiet, frontend=frontend,
+              snapshot_on_exit=args.snapshot_on_exit, router=router)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
+def _cmd_frontends(args: argparse.Namespace) -> int:
+    """List the registered service front ends."""
+    from repro.service.frontends import (
+        DEFAULT_FRONTEND,
+        frontend_info,
+        frontend_names,
+    )
+
+    for name in frontend_names():
+        info = frontend_info(name)
+        marker = " (default)" if name == DEFAULT_FRONTEND else ""
+        print(f"{name}{marker}: {info.description}")
     return 0
 
 
@@ -338,7 +387,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "(a missing file starts the service empty)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request log lines")
+    serve.add_argument("--frontend", default=None,
+                       metavar="NAME",
+                       help="transport front end (see `repro "
+                            "frontends`; default threading)")
+    serve.add_argument("--snapshot-on-exit", default=None, metavar="PATH",
+                       help="snapshot the store here on graceful "
+                            "shutdown (SIGTERM/SIGINT)")
+    serve.add_argument("--cluster", default=None, metavar="URLS",
+                       help="serve as a gateway over these "
+                            "comma-separated node service URLs "
+                            "(consistent hashing + replication) "
+                            "instead of a local store")
+    serve.add_argument("--replication", type=int, default=2,
+                       help="replicas per sketch name in --cluster "
+                            "mode (default 2, capped at node count)")
     serve.set_defaults(func=_cmd_serve)
+
+    frontends = sub.add_parser(
+        "frontends", help="list registered service front ends")
+    frontends.set_defaults(func=_cmd_frontends)
 
     push = sub.add_parser(
         "push", help="ingest an item file into a served sketch")

@@ -16,8 +16,21 @@ monitoring model:
 Every message is metered through :class:`BitChannel` so benchmark E10 can
 measure the claimed scalings, and :mod:`repro.distributed.lower_bound`
 builds the F0-reduction instances behind the ``Omega(k/eps^2)`` bound.
+
+Deployment-shaped counterparts live alongside the simulations:
+:class:`SketchStoreCoordinator` runs the combine against a live store or
+service, and :mod:`repro.distributed.cluster` scales that to several
+service nodes with consistent hashing, R-way replication and
+merge-on-read fail-over (:class:`ClusterClient` /
+:class:`ClusterRouter`).
 """
 
+from repro.distributed.cluster import (
+    ClusterClient,
+    ClusterError,
+    ClusterRouter,
+    HashRing,
+)
 from repro.distributed.network import BitChannel, DistributedResult
 from repro.distributed.partition import (
     partition_random,
@@ -33,7 +46,11 @@ from repro.distributed.store_coordinator import SketchStoreCoordinator
 
 __all__ = [
     "BitChannel",
+    "ClusterClient",
+    "ClusterError",
+    "ClusterRouter",
     "DistributedResult",
+    "HashRing",
     "SketchStoreCoordinator",
     "distributed_bucketing",
     "distributed_estimation",

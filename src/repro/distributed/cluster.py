@@ -1,0 +1,511 @@
+"""Multi-node sharding for the F0 service: Section 4 as a topology.
+
+The paper's distributed protocols (Section 4) work because the sketches
+are *mergeable*: the combine of any partition of a stream equals the
+sketch of the whole stream.  This module turns that algebra into a
+serving topology over several independent F0 service nodes:
+
+* :class:`HashRing` -- deterministic consistent hashing (``hashlib``
+  based, so every client in every process agrees) with virtual nodes,
+  mapping each sketch name to an ordered replica set;
+* :class:`ClusterClient` -- a drop-in ``ServiceClient``-shaped client
+  that writes every mutation to all ``replication`` replicas of a name
+  and answers reads by *merge-on-read*: fetch each live replica's
+  sketch, merge, estimate.  A dead node is simply skipped -- set
+  semantics mean the merged view over any non-empty subset of in-sync
+  replicas is exact, so reads survive node failure with no repair
+  protocol;
+* :class:`ClusterRouter` -- the same ``handle(method, path, body)``
+  contract as :class:`repro.service.router.Router`, routing onto a
+  :class:`ClusterClient` instead of a local store.  Serve it with any
+  registered front end and the cluster gains a single-URL gateway.
+
+Writes are applied to every replica synchronously and in the same
+order per client, so replicas of a name hold bit-identical sketches
+while all nodes are up; after a node dies, the survivors still hold
+the full union (every write reached them too), which is why fail-over
+reads return *bit-identical* estimates, not approximations of them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import urllib.parse
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.router import (
+    SAFE_NAME_RE,
+    Response,
+    RouteError,
+    split_frames,
+)
+from repro.store.serialize import StoreFormatError, dumps, loads_sketch
+from repro.streaming.base import F0Sketch
+
+#: Virtual nodes per physical node -- enough that a 2..8-node ring
+#: spreads names within a few percent of even.
+DEFAULT_VNODES = 64
+
+#: Replicas each sketch name is written to (capped at the node count).
+DEFAULT_REPLICATION = 2
+
+
+class ClusterError(ReproError):
+    """No live replica could serve the operation."""
+
+
+def _ring_hash(data: str) -> int:
+    """A 64-bit deterministic position on the ring.
+
+    ``hashlib`` rather than :func:`hash`: Python randomises string
+    hashes per process, and the whole point of consistent hashing is
+    that *every* client, in every process, on every run, routes a name
+    to the same replica set.
+    """
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Args:
+        nodes: the physical node identifiers (base URLs, host:port
+            strings -- anything hashable as text).  Order does not
+            matter; the ring layout depends only on the names.
+        vnodes: virtual nodes per physical node.  More vnodes = more
+            even key spread at the cost of a larger (still tiny) ring.
+
+    Raises:
+        ReproError: no nodes, duplicate nodes, or vnodes < 1.
+    """
+
+    def __init__(self, nodes: Sequence[str],
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if not nodes:
+            raise ReproError("a hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ReproError("duplicate node in hash ring")
+        if vnodes < 1:
+            raise ReproError("vnodes must be >= 1")
+        self.nodes = list(nodes)
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for i in range(vnodes):
+                points.append((_ring_hash(f"{node}#{i}"), node))
+        points.sort()
+        self._points = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    def nodes_for(self, key: str, count: int = 1) -> List[str]:
+        """The first ``count`` *distinct* nodes clockwise from ``key``.
+
+        The returned order is the replica preference order: stable for
+        a fixed ring, and mostly stable under node addition/removal
+        (only keys adjacent to the moved vnodes re-route -- the
+        consistent-hashing property).
+
+        Args:
+            key: the sketch name being placed.
+            count: how many distinct replicas to collect; capped at the
+                node count.
+        """
+        count = min(count, len(self.nodes))
+        start = bisect.bisect_right(self._points, _ring_hash(key))
+        chosen: List[str] = []
+        for i in range(len(self._owners)):
+            node = self._owners[(start + i) % len(self._owners)]
+            if node not in chosen:
+                chosen.append(node)
+                if len(chosen) == count:
+                    break
+        return chosen
+
+
+class ClusterClient:
+    """``ServiceClient``-shaped access to a replicated multi-node cluster.
+
+    Every sketch name consistent-hashes to ``replication`` nodes.
+    Mutations (create / upload / ingest / push / frames / delete) are
+    applied to each replica in preference order; an *unreachable*
+    replica is skipped (it will simply miss those writes), while a
+    replica that answers with a logical error (409 duplicate, 400
+    incompatible merge) propagates it -- in-sync replicas all answer
+    alike, so the first logical verdict is the cluster's verdict.
+    Reads merge every live replica's sketch, so they stay exact as
+    long as *any* replica that saw every write is alive.
+
+    Args:
+        nodes: base URLs of the member F0 services.
+        replication: replicas per sketch name (capped at node count).
+        vnodes: virtual nodes per physical node for the ring.
+        timeout: per-request socket timeout, passed to each node
+            client.  Keep it small relative to your fail-over budget --
+            a dead-but-routable node costs one timeout per operation.
+        client_factory: ``factory(url, timeout) -> ServiceClient``-like;
+            injectable for tests.
+
+    Raises:
+        ReproError: empty node list or replication < 1.
+    """
+
+    def __init__(self, nodes: Sequence[str],
+                 replication: int = DEFAULT_REPLICATION,
+                 vnodes: int = DEFAULT_VNODES,
+                 timeout: float = 30.0,
+                 client_factory: Optional[
+                     Callable[..., ServiceClient]] = None) -> None:
+        if replication < 1:
+            raise ReproError("replication must be >= 1")
+        self.ring = HashRing(nodes, vnodes=vnodes)
+        self.replication = min(replication, len(self.ring.nodes))
+        self._factory = client_factory or ServiceClient
+        self._timeout = timeout
+        self._clients: Dict[str, ServiceClient] = {}
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        """The member node URLs (ring order is derived, not this list)."""
+        return list(self.ring.nodes)
+
+    def _client(self, url: str) -> ServiceClient:
+        client = self._clients.get(url)
+        if client is None:
+            client = self._factory(url, timeout=self._timeout)
+            self._clients[url] = client
+        return client
+
+    def replicas_for(self, name: str) -> List[str]:
+        """The node URLs holding ``name``, in preference order."""
+        return self.ring.nodes_for(name, self.replication)
+
+    def _on_replicas(self, name: str, op: Callable[[ServiceClient], object],
+                     ) -> List[Tuple[str, object]]:
+        """Apply one mutation to every replica of ``name``.
+
+        Unreachable replicas (connection refused / timeout; status 0)
+        are skipped; logical errors re-raise immediately.  Returns the
+        ``(url, result)`` pairs that succeeded.
+
+        Raises:
+            ClusterError: every replica was unreachable.
+            ServiceError: a reachable replica rejected the operation.
+        """
+        done: List[Tuple[str, object]] = []
+        last: Optional[ServiceError] = None
+        for url in self.replicas_for(name):
+            try:
+                done.append((url, op(self._client(url))))
+            except ServiceError as exc:
+                if exc.status != 0:
+                    raise
+                last = exc
+        if not done:
+            raise ClusterError(
+                f"no live replica for {name!r} among "
+                f"{self.replicas_for(name)}") from last
+        return done
+
+    # -- mutations (fan out to all replicas) -------------------------------
+
+    def create(self, name: str, **kwargs) -> dict:
+        """Create ``name`` on every replica (same params + seed, so the
+        replicas start bit-identical).  Keyword arguments mirror
+        :meth:`repro.service.client.ServiceClient.create`."""
+        done = self._on_replicas(name,
+                                 lambda c: c.create(name, **kwargs))
+        reply = dict(done[0][1])
+        reply["replicas"] = [url for url, _ in done]
+        return reply
+
+    def upload(self, name: str, sketch: F0Sketch) -> None:
+        """Create-or-replace ``name`` on every replica with one sketch."""
+        self._on_replicas(name, lambda c: c.upload(name, sketch))
+
+    def ingest(self, name: str, items: Iterable[int]) -> int:
+        """Ingest the items into every replica (returns items sent).
+
+        The iterable is materialised once so each replica sees the
+        identical stream -- set semantics make the repetition free.
+        """
+        batch = [int(x) for x in items]
+        self._on_replicas(name, lambda c: c.ingest(name, batch))
+        return len(batch)
+
+    def push(self, name: str, sketch: F0Sketch) -> None:
+        """Merge-on-put one shard sketch into every replica."""
+        self._on_replicas(name, lambda c: c.push(name, sketch))
+
+    def push_frames(self, name: str, sketches: Iterable[F0Sketch]) -> int:
+        """Batched merge-on-put of many shard sketches to every replica."""
+        batch = list(sketches)
+        done = self._on_replicas(name,
+                                 lambda c: c.push_frames(name, batch))
+        return int(done[0][1])
+
+    def delete(self, name: str) -> None:
+        """Drop ``name`` from every replica (a 404 replica is fine)."""
+
+        def _delete(client: ServiceClient) -> bool:
+            try:
+                client.delete(name)
+            except ServiceError as exc:
+                if exc.status != 404:
+                    raise
+            return True
+
+        self._on_replicas(name, _delete)
+
+    # -- reads (merge-on-read over live replicas) --------------------------
+
+    def fetch(self, name: str) -> F0Sketch:
+        """The merged sketch over every live replica of ``name``.
+
+        Raises:
+            ServiceError: 404 if every live replica lacks the name.
+            ClusterError: no replica reachable at all.
+        """
+        merged: Optional[F0Sketch] = None
+        missing: Optional[ServiceError] = None
+        down: Optional[ServiceError] = None
+        for url in self.replicas_for(name):
+            try:
+                part = self._client(url).fetch(name)
+            except ServiceError as exc:
+                if exc.status == 0:
+                    down = exc
+                    continue
+                if exc.status == 404:
+                    # A replica that was down during create and came
+                    # back empty: the others still hold the full union.
+                    missing = exc
+                    continue
+                raise
+            if merged is None:
+                merged = part
+            else:
+                merged.merge(part)
+        if merged is not None:
+            return merged
+        if missing is not None:
+            raise missing
+        raise ClusterError(
+            f"no live replica for {name!r} among "
+            f"{self.replicas_for(name)}") from down
+
+    def estimate(self, name: str) -> float:
+        """The F0 estimate over the merged live replicas of ``name``."""
+        return self.fetch(name).estimate()
+
+    def info(self, name: str) -> Dict[str, object]:
+        """Merged metadata plus the replica map and how many answered."""
+        replicas = self.replicas_for(name)
+        merged = self.fetch(name)
+        frame = dumps(merged)
+        return {
+            "name": name,
+            "kind": type(merged).__name__,
+            "estimate": merged.estimate(),
+            "space_bits": merged.space_bits(),
+            "serialized_bytes": len(frame),
+            "replicas": replicas,
+            "replication": self.replication,
+        }
+
+    def sketches(self) -> List[str]:
+        """The union of sketch names across every reachable node."""
+        names = set()
+        reachable = 0
+        for url in self.ring.nodes:
+            try:
+                names.update(self._client(url).sketches())
+            except ServiceError as exc:
+                if exc.status != 0:
+                    raise
+                continue
+            reachable += 1
+        if not reachable:
+            raise ClusterError("no cluster node reachable")
+        return sorted(names)
+
+    def health(self) -> Dict[str, object]:
+        """Per-node liveness: ``ok`` when all answer, else ``degraded``."""
+        nodes = []
+        live = 0
+        for url in self.ring.nodes:
+            try:
+                reply = self._client(url).health()
+            except ServiceError:
+                nodes.append({"node": url, "status": "down"})
+                continue
+            live += 1
+            nodes.append({"node": url, "status": "ok",
+                          "sketches": reply.get("sketches")})
+        return {
+            "status": "ok" if live == len(nodes) else "degraded",
+            "live": live,
+            "nodes": nodes,
+        }
+
+
+#: Create-payload keys a gateway forwards to the node services.
+_CREATE_KEYS = ("kind", "universe_bits", "eps", "delta",
+                "thresh_constant", "repetitions_constant", "seed",
+                "shards", "ttl")
+
+_NAME_RE = SAFE_NAME_RE
+
+
+class ClusterRouter:
+    """The cluster as one routable endpoint (gateway mode).
+
+    Implements the same ``handle(method, path, body) -> Response``
+    contract as :class:`repro.service.router.Router`, so any registered
+    front end can serve it: ``repro serve --cluster url1,url2`` starts
+    an HTTP gateway whose reads merge across replicas and whose writes
+    fan out -- clients need no ring logic at all.
+
+    Snapshot/restore are deliberately not proxied: they are per-node
+    operations (each node owns its snapshot file), answered with 400.
+
+    Args:
+        cluster: the :class:`ClusterClient` to route onto.
+        verbose: accepted for front-end-contract parity.
+    """
+
+    def __init__(self, cluster: ClusterClient,
+                 verbose: bool = False) -> None:
+        self.cluster = cluster
+        self.verbose = verbose
+        #: Gateways hold no local store (front ends read this back).
+        self.store = None
+
+    def handle(self, method: str, path: str,
+               body: bytes = b"") -> Response:
+        """Route one request; never raises for routine service errors."""
+        try:
+            return self._dispatch(method.upper(), path, body)
+        except RouteError as err:
+            return Response.error(err.status, str(err))
+        except ClusterError as exc:
+            return Response.error(503, str(exc))
+        except ServiceError as exc:
+            status = exc.status if exc.status else 503
+            return Response.error(status, str(exc))
+        except (StoreFormatError, ReproError, ValueError) as exc:
+            return Response.error(400, str(exc))
+        except Exception as exc:  # Anything else is a gateway bug.
+            return Response.error(500, f"{type(exc).__name__}: {exc}")
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, method: str, path: str, body: bytes) -> Response:
+        path = path.split("?", 1)[0].rstrip("/")
+        parts = [p for p in path.split("/") if p]
+        if parts == ["healthz"] and method == "GET":
+            health = self.cluster.health()
+            health["sketches"] = len(self.cluster.sketches()) \
+                if health["live"] else 0
+            return Response.json(200, health)
+        if not parts or parts[0] != "v1":
+            raise RouteError(404, f"unknown path {path!r}")
+        rest = parts[1:]
+        if rest == ["sketches"]:
+            if method == "GET":
+                return Response.json(200,
+                                     {"sketches": self.cluster.sketches()})
+            if method == "POST":
+                return self._create(body)
+        elif rest in (["snapshot"], ["restore"]) and method == "POST":
+            raise RouteError(
+                400, f"{rest[0]} is a per-node operation; call it on "
+                     "each node service directly")
+        elif 2 <= len(rest) <= 3 and rest[0] == "sketches":
+            name = urllib.parse.unquote(rest[1])
+            action = rest[2] if len(rest) == 3 else None
+            response = self._sketch_op(method, name, action, body)
+            if response is not None:
+                return response
+        raise RouteError(404, f"unknown path {path!r}")
+
+    def _sketch_op(self, method: str, name: str, action: Optional[str],
+                   body: bytes) -> Optional[Response]:
+        """Handle ``/v1/sketches/<name>[/<action>]``; None = no route."""
+        cluster = self.cluster
+        if action is None:
+            if method == "GET":
+                return Response.json(200, cluster.info(name))
+            if method == "PUT":
+                if not _NAME_RE.match(name):
+                    raise RouteError(400,
+                                     f"invalid sketch name {name!r}")
+                cluster.upload(name, loads_sketch(body))
+                return Response.json(200, {"stored": name})
+            if method == "DELETE":
+                cluster.delete(name)
+                return Response.json(200, {"deleted": name})
+            return None
+        if action == "blob" and method == "GET":
+            return Response(200, dumps(cluster.fetch(name)),
+                            "application/octet-stream")
+        if action == "estimate" and method == "GET":
+            return Response.json(200, {"name": name,
+                                       "estimate": cluster.estimate(name)})
+        if action == "ingest" and method == "POST":
+            payload = self._json_body(body)
+            items = payload.get("items")
+            if not isinstance(items, list) \
+                    or not all(isinstance(x, int) for x in items):
+                raise RouteError(400,
+                                 "ingest body needs items: [int, ...]")
+            count = cluster.ingest(name, items)
+            return Response.json(200, {"name": name, "ingested": count})
+        if action == "merge" and method == "POST":
+            cluster.push(name, loads_sketch(body))
+            return Response.json(200, {"name": name, "merged": True})
+        if action == "frames" and method == "POST":
+            incoming = [loads_sketch(f) for f in split_frames(body)]
+            count = cluster.push_frames(name, incoming)
+            return Response.json(200, {"name": name, "frames": count,
+                                       "merged": True})
+        return None
+
+    def _create(self, body: bytes) -> Response:
+        payload = self._json_body(body)
+        name = payload.get("name")
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise RouteError(
+                400, "sketch names must be 1-128 chars of "
+                     "[A-Za-z0-9._:-], starting alphanumeric")
+        kwargs = {k: payload[k] for k in _CREATE_KEYS if k in payload}
+        reply = self.cluster.create(name, **kwargs)
+        return Response.json(201, reply)
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except ValueError as exc:
+            raise RouteError(400, f"malformed JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise RouteError(400, "JSON body must be an object")
+        return payload
+
+
+__all__ = [
+    "DEFAULT_REPLICATION",
+    "DEFAULT_VNODES",
+    "ClusterClient",
+    "ClusterError",
+    "ClusterRouter",
+    "HashRing",
+]

@@ -4,9 +4,12 @@ The protocols in :mod:`repro.distributed.protocols` simulate one-shot
 message rounds with bit-metered channels -- faithful to the paper's
 accounting, but every sketch dies with the simulation.  This module is
 the deployment-shaped counterpart: a coordinator whose combine step is
-merge-on-put against a durable target, either an in-process
-:class:`~repro.store.store.SketchStore` or a remote F0 service through
-:class:`~repro.service.client.ServiceClient`.
+merge-on-put against a durable target -- an in-process
+:class:`~repro.store.store.SketchStore`, a remote F0 service through
+:class:`~repro.service.client.ServiceClient`, or a whole replicated
+cluster through :class:`~repro.distributed.cluster.ClusterClient`
+(same upload/push/estimate surface, so the dispatch below does not
+care which).
 
 The flow mirrors the paper exactly.  The coordinator establishes the
 hash functions (here: builds one prototype sketch, whose seeds every
@@ -21,22 +24,27 @@ shape the ROADMAP's service north star asks for.
 from __future__ import annotations
 
 import copy
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.service.client import ServiceClient
 from repro.store.store import SketchStore
 from repro.streaming.base import F0Sketch
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distributed.cluster import ClusterClient
+
 #: Anything a coordinator can combine into.
-StoreTarget = Union[SketchStore, ServiceClient]
+StoreTarget = Union[SketchStore, ServiceClient, "ClusterClient"]
 
 
 class SketchStoreCoordinator:
     """A distributed-F0 coordinator whose state lives in a store.
 
     Args:
-        target: an in-process :class:`SketchStore` or a
-            :class:`ServiceClient` pointed at a running F0 service.
+        target: an in-process :class:`SketchStore`, a
+            :class:`ServiceClient` pointed at a running F0 service, or
+            a :class:`~repro.distributed.cluster.ClusterClient` over
+            several of them.
         name: the sketch name the protocol runs under.
         prototype: the freshly built (empty) sketch fixing the hash
             seeds for every site.  It is registered at the target

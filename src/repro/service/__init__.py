@@ -2,12 +2,19 @@
 
 The streaming sketches are tiny, mergeable summaries -- exactly the
 objects a service should hold, merge, and answer from.  This package is
-the deployment shell around :class:`repro.store.SketchStore`:
+the deployment shell around :class:`repro.store.SketchStore`, split
+into a transport-independent core and pluggable transports:
 
-* :mod:`repro.service.server` -- a stdlib-only concurrent HTTP server
-  (``http.server.ThreadingHTTPServer``) exposing create / ingest-batch /
-  merge / estimate / snapshot endpoints, with per-sketch locking so
-  concurrent shard uploads serialize correctly;
+* :mod:`repro.service.router` -- :class:`Router`, the whole service API
+  as a pure ``(method, path, body) -> Response`` function over one
+  store: create / ingest-batch / merge / batched-frames / estimate /
+  snapshot endpoints, unit-testable without a socket;
+* :mod:`repro.service.frontends` -- the front-end registry
+  (``threading`` = one OS thread per request, ``asyncio`` = one event
+  loop over all connections) selected by ``repro serve --frontend``;
+* :mod:`repro.service.server` -- the threading front end
+  (:class:`F0Server`) and the graceful-shutdown :func:`serve` shell
+  (SIGTERM/SIGINT, optional snapshot-on-exit);
 * :mod:`repro.service.client` -- a thin ``urllib``-based client whose
   sketch payloads ride the versioned wire format of
   :mod:`repro.store.serialize`.
@@ -15,15 +22,33 @@ the deployment shell around :class:`repro.store.SketchStore`:
 The CLI verbs ``python -m repro serve`` / ``repro push`` / ``repro
 query`` are thin shells over these; ``examples/service_quickstart.py``
 walks the full create -> shard-push -> query -> snapshot -> restore
-loop in one script.
+loop in one script.  For the multi-node story (consistent hashing,
+replication, fail-over) see :mod:`repro.distributed.cluster`.
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.frontends import (
+    DEFAULT_FRONTEND,
+    AsyncioFrontend,
+    create_frontend,
+    frontend_info,
+    frontend_names,
+    register_frontend,
+)
+from repro.service.router import Response, Router
 from repro.service.server import F0Server, serve
 
 __all__ = [
+    "AsyncioFrontend",
+    "DEFAULT_FRONTEND",
     "F0Server",
+    "Response",
+    "Router",
     "ServiceClient",
     "ServiceError",
+    "create_frontend",
+    "frontend_info",
+    "frontend_names",
+    "register_frontend",
     "serve",
 ]

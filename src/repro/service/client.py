@@ -187,6 +187,25 @@ class ServiceClient:
                       dumps(sketch),
                       content_type="application/octet-stream")
 
+    def push_frames(self, name: str, sketches: Iterable[F0Sketch]) -> int:
+        """Batched merge-on-put: many shard uploads in one request.
+
+        Each sketch is encoded as a length-prefixed wire frame and the
+        whole batch travels as a single ``POST .../frames`` body -- one
+        HTTP round trip however many shards report in.  Returns the
+        number of frames the server merged.
+
+        Raises:
+            ServiceError: 404 for an unknown name, 400 if any frame is
+                malformed or incompatible with the stored sketch.
+        """
+        from repro.service.router import join_frames
+        body = join_frames([dumps(sk) for sk in sketches])
+        reply = json.loads(self._request(
+            "POST", f"/v1/sketches/{self._seg(name)}/frames", body,
+            content_type="application/octet-stream"))
+        return int(reply["frames"])
+
     def snapshot(self, path: Optional[str] = None) -> Dict[str, object]:
         """Ask the server to snapshot its store (to ``path`` or its
         configured default)."""

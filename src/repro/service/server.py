@@ -1,85 +1,45 @@
-"""The stdlib-only concurrent F0 sketch service.
+"""The stdlib-only threading front end for the F0 sketch service.
 
 One :class:`F0Server` (an ``http.server.ThreadingHTTPServer``) fronts
-one :class:`~repro.store.store.SketchStore`.  Every request runs in its
-own thread; correctness under concurrency comes from the store's
-locking discipline (registry lock for the name map, a per-sketch lock
-for mutations), so any number of shard workers may upload to the same
-named sketch simultaneously and the merges serialize.
+one :class:`~repro.service.router.Router`.  Every request runs in its
+own thread; the handler is a pure transport shell -- it reads the body,
+calls ``router.handle(method, path, body)``, and writes the
+:class:`~repro.service.router.Response` back.  Routing, validation and
+error mapping all live in the router (see its module doc for the wire
+protocol), so this file only deals in HTTP/1.1 mechanics: keep-alive,
+body draining, oversized-body rejection.
 
-Wire protocol (all JSON unless noted)::
+Correctness under concurrency comes from the store's locking discipline
+(registry lock for the name map, a per-sketch lock for mutations, a
+version-cached view for reads), so any number of shard workers may
+upload to the same named sketch simultaneously and the merges
+serialize while estimates stay lock-free O(1) reads.
 
-    GET    /healthz                       liveness + sketch count
-    GET    /v1/sketches                   list live sketch names
-    POST   /v1/sketches                   create  {name, kind,
-                                          universe_bits, eps?, delta?,
-                                          thresh_constant?,
-                                          repetitions_constant?, seed?,
-                                          shards?, ttl?}
-    GET    /v1/sketches/N                 metadata (kind, estimate,
-                                          footprints, ttl)
-    PUT    /v1/sketches/N                 body = serialized sketch frame
-                                          (create-or-replace upload)
-    DELETE /v1/sketches/N                 drop the sketch
-    GET    /v1/sketches/N/blob            serialized frame
-                                          (application/octet-stream)
-    GET    /v1/sketches/N/estimate        {name, estimate}
-    POST   /v1/sketches/N/ingest          {items: [int, ...]} ->
-                                          {ingested}
-    POST   /v1/sketches/N/merge           body = serialized sketch frame
-                                          (merge-on-put shard upload)
-    POST   /v1/snapshot                   {path?} -> atomic snapshot
-    POST   /v1/restore                    {path?} -> restore registry
-
-Clients that want bit-exact shard uploads build a replica with the
-prototype's hash seeds -- either by fetching ``/blob`` (set semantics
-make re-merging the server's own contents harmless) or by repeating the
-create arguments (same ``kind`` / ``universe_bits`` / params / ``seed``
-build identical seeds via :func:`repro.store.factory.build_sketch`).
-
-Library errors map to HTTP statuses instead of tracebacks: unknown
-name -> 404, duplicate create -> 409, malformed frames or parameters ->
-400; anything else is a 500 with the exception's message.
+:func:`serve` is the ``repro serve`` foreground entry point: it can run
+any registered front end (``threading`` here, ``asyncio`` in
+:mod:`repro.service.frontends`), handles SIGTERM/SIGINT gracefully, and
+optionally snapshots the store on exit so a redeploy never loses
+sketches.
 """
 
 from __future__ import annotations
 
-import json
-import re
+import signal
 import threading
-import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.common.errors import ReproError
-from repro.store.factory import build_sketch
-from repro.store.serialize import StoreFormatError, loads_sketch
-from repro.store.store import (
-    SketchExistsError,
-    SketchNotFoundError,
-    SketchStore,
-)
-from repro.streaming.base import SketchParams
+from repro.service.router import Router
+from repro.store.store import SketchStore
 
 #: Largest accepted request body (64 MiB) -- a backstop against a
 #: malformed Content-Length stalling a worker thread on a huge read.
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
-#: Sketch names must be addressable as one URL path segment, so creates
-#: reject anything that could not be routed back to the entry.
-SAFE_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:-]{0,127}$")
-
-
-class _HttpError(Exception):
-    """Internal: abort the current request with a status + message."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
 
 class F0ServiceHandler(BaseHTTPRequestHandler):
-    """Routes one HTTP request onto the server's sketch store."""
+    """Transport shell: one HTTP request onto the server's router."""
 
     server_version = "ReproF0Service/1"
     protocol_version = "HTTP/1.1"
@@ -91,207 +51,58 @@ class F0ServiceHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(fmt, *args)
 
-    def _body(self) -> bytes:
-        self._body_consumed = True
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        if length < 0 or length > MAX_BODY_BYTES:
-            # Too large to drain: drop the connection after replying so
-            # the unread body cannot masquerade as the next request.
-            self.close_connection = True
-            raise _HttpError(413, "request body too large")
-        return self.rfile.read(length) if length else b""
+    def _content_length(self) -> int:
+        try:
+            return int(self.headers.get("Content-Length", 0) or 0)
+        except (TypeError, ValueError):
+            return 0
 
     def _drain_body(self) -> None:
         """Consume an unread request body before replying.
 
-        Connections are persistent (HTTP/1.1 keep-alive): replying to a
-        routed-to-error request without reading its body would leave
-        those bytes in the stream to be parsed as the *next* request.
+        Connections are persistent (HTTP/1.1 keep-alive): replying
+        without reading the body would leave those bytes in the stream
+        to be parsed as the *next* request.
         """
         if getattr(self, "_body_consumed", False):
             return
         self._body_consumed = True
-        try:
-            length = int(self.headers.get("Content-Length", 0) or 0)
-        except (TypeError, ValueError):
-            length = 0
+        length = self._content_length()
         if length < 0 or length > MAX_BODY_BYTES:
             self.close_connection = True
         elif length:
             self.rfile.read(length)
 
-    def _json_body(self) -> dict:
-        raw = self._body()
-        if not raw:
-            return {}
-        try:
-            payload = json.loads(raw)
-        except ValueError as exc:
-            raise _HttpError(400, f"malformed JSON body: {exc}")
-        if not isinstance(payload, dict):
-            raise _HttpError(400, "JSON body must be an object")
-        return payload
-
     def _send(self, status: int, payload: bytes,
               content_type: str) -> None:
         self._drain_body()
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
-
-    def _send_json(self, status: int, obj: dict) -> None:
-        self._send(status, json.dumps(obj).encode("utf-8"),
-                   "application/json")
-
-    def _send_blob(self, blob: bytes) -> None:
-        self._send(200, blob, "application/octet-stream")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # Client went away; nothing to report to.
 
     # -- dispatch ----------------------------------------------------------
 
     def _route(self, method: str) -> None:
-        store: SketchStore = self.server.store
         self._body_consumed = False  # Handler persists across keep-alive.
-        try:
-            try:
-                self._dispatch(method, store)
-            except _HttpError:
-                raise
-            except SketchNotFoundError as exc:
-                raise _HttpError(
-                    404, f"no sketch named {exc.args[0]!r}")
-            except SketchExistsError as exc:
-                raise _HttpError(409, str(exc))
-            except (StoreFormatError, ReproError, ValueError) as exc:
-                # ValueError covers the sketches' own compatibility
-                # checks (merge with foreign seeds, width mismatches).
-                raise _HttpError(400, str(exc))
-            except FileNotFoundError as exc:
-                raise _HttpError(404, str(exc))
-            except Exception as exc:  # Anything else is a server bug.
-                raise _HttpError(500, f"{type(exc).__name__}: {exc}")
-        except _HttpError as err:
-            try:
-                self._send_json(err.status, {"error": str(err)})
-            except (BrokenPipeError, ConnectionResetError):
-                pass  # Client went away; nothing to report to.
-
-    def _dispatch(self, method: str, store: SketchStore) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/")
-        parts = [p for p in path.split("/") if p]
-        if parts == ["healthz"] and method == "GET":
-            self._send_json(200, {"status": "ok",
-                                  "sketches": len(store)})
+        length = self._content_length()
+        if length < 0 or length > MAX_BODY_BYTES:
+            # Too large to drain: drop the connection after replying so
+            # the unread body cannot masquerade as the next request.
+            self._body_consumed = True
+            self.close_connection = True
+            self._send(413, b'{"error": "request body too large"}',
+                       "application/json")
             return
-        if not parts or parts[0] != "v1":
-            raise _HttpError(404, f"unknown path {self.path!r}")
-        rest = parts[1:]
-        if rest == ["sketches"]:
-            if method == "GET":
-                self._send_json(200, {"sketches": store.names()})
-                return
-            if method == "POST":
-                self._create(store)
-                return
-        elif rest == ["snapshot"] and method == "POST":
-            self._snapshot(store)
-            return
-        elif rest == ["restore"] and method == "POST":
-            self._restore(store)
-            return
-        elif len(rest) >= 2 and rest[0] == "sketches":
-            name = urllib.parse.unquote(rest[1])
-            action = rest[2] if len(rest) == 3 else None
-            if len(rest) <= 3 and self._sketch_op(store, method, name,
-                                                  action):
-                return
-        raise _HttpError(404, f"unknown path {self.path!r}")
-
-    # -- handlers ----------------------------------------------------------
-
-    def _sketch_op(self, store: SketchStore, method: str, name: str,
-                   action: Optional[str]) -> bool:
-        """Handle ``/v1/sketches/<name>[/<action>]``; False = no route."""
-        if action is None:
-            if method == "GET":
-                self._send_json(200, store.info(name))
-                return True
-            if method == "PUT":
-                # Upload a client-built sketch wholesale (create or
-                # replace) -- how a coordinator registers a prototype
-                # whose seeds it drew itself.
-                if not SAFE_NAME_RE.match(name):
-                    raise _HttpError(400, f"invalid sketch name {name!r}")
-                store.put(name, loads_sketch(self._body()))
-                self._send_json(200, {"stored": name})
-                return True
-            if method == "DELETE":
-                store.delete(name)
-                self._send_json(200, {"deleted": name})
-                return True
-            return False
-        if action == "blob" and method == "GET":
-            self._send_blob(store.serialized(name))
-            return True
-        if action == "estimate" and method == "GET":
-            self._send_json(200, {"name": name,
-                                  "estimate": store.estimate(name)})
-            return True
-        if action == "ingest" and method == "POST":
-            payload = self._json_body()
-            items = payload.get("items")
-            if not isinstance(items, list) \
-                    or not all(isinstance(x, int) for x in items):
-                raise _HttpError(400, "ingest body needs items: [int, ...]")
-            count = store.ingest(name, items)
-            self._send_json(200, {"name": name, "ingested": count})
-            return True
-        if action == "merge" and method == "POST":
-            incoming = loads_sketch(self._body())
-            store.merge_into(name, incoming)
-            self._send_json(200, {"name": name, "merged": True})
-            return True
-        return False
-
-    def _create(self, store: SketchStore) -> None:
-        payload = self._json_body()
-        name = payload.get("name")
-        kind = payload.get("kind", "minimum")
-        if not isinstance(name, str) or not SAFE_NAME_RE.match(name):
-            raise _HttpError(
-                400, "sketch names must be 1-128 chars of "
-                     "[A-Za-z0-9._:-], starting alphanumeric")
-        params = SketchParams(
-            eps=float(payload.get("eps", 0.8)),
-            delta=float(payload.get("delta", 0.2)),
-            thresh_constant=float(payload.get("thresh_constant", 96.0)),
-            repetitions_constant=float(
-                payload.get("repetitions_constant", 35.0)))
-        sketch = build_sketch(kind, int(payload.get("universe_bits", 0)),
-                              params, seed=int(payload.get("seed", 0)),
-                              shards=int(payload.get("shards", 1)))
-        ttl = payload.get("ttl")
-        store.create(name, sketch, ttl=float(ttl) if ttl else None)
-        self._send_json(201, {"created": name, "kind": kind})
-
-    def _snapshot(self, store: SketchStore) -> None:
-        payload = self._json_body()
-        path = payload.get("path") or self.server.snapshot_path
-        if not path:
-            raise _HttpError(400, "no snapshot path given and the server "
-                                  "has no default (--snapshot)")
-        count = store.snapshot(path)
-        self._send_json(200, {"snapshot": path, "sketches": count})
-
-    def _restore(self, store: SketchStore) -> None:
-        payload = self._json_body()
-        path = payload.get("path") or self.server.snapshot_path
-        if not path:
-            raise _HttpError(400, "no snapshot path given and the server "
-                                  "has no default (--snapshot)")
-        count = store.restore(path)
-        self._send_json(200, {"restored": count, "path": path})
+        body = self.rfile.read(length) if length else b""
+        self._body_consumed = True
+        response = self.server.router.handle(method, self.path, body)
+        self._send(response.status, response.payload,
+                   response.content_type)
 
     # -- HTTP verbs --------------------------------------------------------
 
@@ -313,30 +124,46 @@ class F0ServiceHandler(BaseHTTPRequestHandler):
 
 
 class F0Server(ThreadingHTTPServer):
-    """The sketch service: a threading HTTP server bound to one store.
+    """The threading sketch service: one HTTP thread per request.
 
     Args:
         address: ``(host, port)`` to bind; port 0 picks an ephemeral
             port (read it back from ``server.server_port``).
         store: the :class:`SketchStore` to serve; a fresh empty one by
-            default.
+            default.  Ignored when an explicit ``router`` is given.
         snapshot_path: default target for ``/v1/snapshot`` and source
             for ``/v1/restore`` when the request names no path.
         verbose: log one line per request (quiet by default so tests
             and benchmarks stay readable).
+        router: serve an existing router (e.g. a
+            :class:`~repro.distributed.cluster.ClusterRouter` gateway)
+            instead of building one around ``store``.
     """
 
     daemon_threads = True
 
+    #: Listen backlog.  The http.server default of 5 drops SYNs as soon
+    #: as ~8 clients connect at once (each dropped connect costs the
+    #: client a full TCP retransmit timeout); size it for bursts.
+    request_queue_size = 128
+
     def __init__(self, address: Tuple[str, int],
                  store: Optional[SketchStore] = None,
                  snapshot_path: Optional[str] = None,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 router=None) -> None:
         super().__init__(address, F0ServiceHandler)
-        self.store = store if store is not None else SketchStore()
+        if router is None:
+            router = Router(store=store, snapshot_path=snapshot_path)
+        self.router = router
         self.snapshot_path = snapshot_path
         self.verbose = verbose
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def store(self) -> Optional[SketchStore]:
+        """The backing store (None for store-less gateway routers)."""
+        return getattr(self.router, "store", None)
 
     @property
     def url(self) -> str:
@@ -350,7 +177,7 @@ class F0Server(ThreadingHTTPServer):
         """Serve from a daemon thread; returns self for chaining.
 
         The test-suite / notebook entry: bind, serve, keep the calling
-        thread free.  Pair with :meth:`shutdown`.
+        thread free.  Pair with :meth:`stop`.
         """
         if self._thread is not None:
             raise ReproError("server already started")
@@ -371,8 +198,16 @@ class F0Server(ThreadingHTTPServer):
 def serve(host: str = "127.0.0.1", port: int = 8080,
           store: Optional[SketchStore] = None,
           snapshot_path: Optional[str] = None,
-          restore: bool = False, verbose: bool = True) -> None:
+          restore: bool = False, verbose: bool = True,
+          frontend: str = "threading",
+          snapshot_on_exit: Optional[str] = None,
+          router=None) -> None:
     """Run the service in the foreground (the ``repro serve`` verb).
+
+    SIGTERM and SIGINT both shut the service down gracefully: in-flight
+    requests finish, and when ``snapshot_on_exit`` is set the store is
+    snapshotted to that path before the process exits -- a long-lived
+    service never loses sketches on redeploy.
 
     Args:
         host: bind address.
@@ -382,25 +217,59 @@ def serve(host: str = "127.0.0.1", port: int = 8080,
         restore: load ``snapshot_path`` before serving (missing file is
             fine -- the service starts empty and snapshots will create
             it).
-        verbose: per-request log lines to stderr.
+        verbose: per-request log lines to stderr (threading front end).
+        frontend: registered front-end name (``threading`` /
+            ``asyncio``; see :mod:`repro.service.frontends`).
+        snapshot_on_exit: snapshot the store here after a graceful
+            shutdown signal.
+        router: serve an existing router (cluster gateway mode) instead
+            of building one around ``store``.
 
     Raises:
-        ReproError: ``restore=True`` without a ``snapshot_path``.
+        ReproError: ``restore=True`` without a ``snapshot_path``, or an
+            unknown front-end name.
     """
-    server = F0Server((host, port), store=store,
-                      snapshot_path=snapshot_path, verbose=verbose)
+    from repro.service.frontends import create_frontend
+
+    if router is None:
+        router = Router(store=store, snapshot_path=snapshot_path)
+    server = create_frontend(frontend, (host, port), router,
+                             verbose=verbose)
+    backing = getattr(router, "store", None)
     if restore:
         if not snapshot_path:
             raise ReproError("restore requested but no snapshot path given")
+        if backing is None:
+            raise ReproError("this router holds no store to restore into")
         try:
-            count = server.store.restore(snapshot_path)
+            count = backing.restore(snapshot_path)
             print(f"restored {count} sketch(es) from {snapshot_path}")
         except FileNotFoundError:
             print(f"no snapshot at {snapshot_path}; starting empty")
-    print(f"serving F0 sketch store on {server.url}")
+
+    stop_event = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        stop_event.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except ValueError:  # Not the main thread (embedded use).
+            pass
+
+    server.start_background()
+    print(f"serving F0 sketch store on {server.url} "
+          f"({frontend} front end)", flush=True)
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+        stop_event.wait()
+        print("shutdown signal received; draining", flush=True)
     finally:
-        server.server_close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.stop()
+        if snapshot_on_exit and backing is not None:
+            count = backing.snapshot(snapshot_on_exit)
+            print(f"snapshotted {count} sketch(es) to {snapshot_on_exit}",
+                  flush=True)

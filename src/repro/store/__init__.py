@@ -31,15 +31,26 @@ from repro.store.serialize import (
     serialized_size,
 )
 from repro.store.factory import SKETCH_KINDS, build_sketch
-from repro.store.store import SketchStore, StoredSketch
+from repro.store.store import (
+    VIEW_METRICS,
+    CachedView,
+    SketchConflictError,
+    SketchStore,
+    StoredSketch,
+    ViewMetrics,
+)
 
 __all__ = [
+    "CachedView",
     "FORMAT_VERSION",
     "MAGIC",
     "SKETCH_KINDS",
+    "SketchConflictError",
     "SketchStore",
     "StoreFormatError",
     "StoredSketch",
+    "VIEW_METRICS",
+    "ViewMetrics",
     "build_sketch",
     "dumps",
     "loads",

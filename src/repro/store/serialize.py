@@ -43,7 +43,7 @@ from repro.common.errors import ReproError
 from repro.gf2.gf2n import GF2n
 from repro.hashing.base import LinearHash
 from repro.hashing.kwise import KWiseHash
-from repro.streaming.base import SketchParams
+from repro.streaming.base import SketchParams, VersionedCache
 from repro.streaming.bucketing import BucketingF0, BucketingRow
 from repro.streaming.estimation import EstimationF0, EstimationRow
 from repro.streaming.exact import ExactF0
@@ -335,8 +335,8 @@ def _dec_estimation(r: _Reader) -> EstimationF0:
         rows.append(row)
     sk.rows = rows
     sk._version = 0
-    sk._cached_r = None
-    sk._cached_estimate = None
+    sk._r_cache = VersionedCache()
+    sk._estimate_cache = VersionedCache()
     return sk
 
 
@@ -450,6 +450,7 @@ def _dec_sharded(r: _Reader) -> ShardedF0:
     sk = object.__new__(ShardedF0)
     sk.shards = shards
     sk._cursor = cursor % count
+    sk._init_caches()
     return sk
 
 

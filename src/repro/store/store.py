@@ -12,11 +12,23 @@ Concurrency model
 
 A registry-wide lock guards the name map only (lookups, inserts,
 deletes -- all O(1)); every entry additionally owns its *own* lock,
-held for the duration of any sketch mutation or read-out (``ingest``,
-``merge_into``, ``estimate``).  Concurrent shard uploads against one
+held for the duration of any sketch mutation (``ingest``,
+``merge_into``) or cache rebuild.  Concurrent shard uploads against one
 name therefore serialize against each other -- ``merge`` is not
 atomic at the Python level across a sketch's rows -- while traffic on
 different names proceeds in parallel.
+
+The read path is concurrency-first: every mutation bumps the entry's
+version counter, and ``estimate`` / ``info`` / ``serialized`` are
+served from a :class:`CachedView` memoised against that counter.  A
+warm read takes **no lock at all** (it checks the published view's
+version and returns it -- the view is an immutable snapshot, so a
+racing mutation can at worst make the read linearize just before it);
+only a version mismatch takes the entry lock to rebuild.  For
+:class:`~repro.streaming.sharded.ShardedF0` entries this is the
+difference between O(1) and a full merge-per-estimate.
+:data:`VIEW_METRICS` counts hits/builds/serializations so tests and
+benchmarks can assert the zero-work warm path.
 
 TTL semantics
 -------------
@@ -58,6 +70,10 @@ from repro.store.serialize import (
 #: Magic of a snapshot file (one frame per stored sketch inside).
 SNAPSHOT_MAGIC = b"RF0T"
 
+#: How many times ``put(merge=True)`` retries the merge when the entry
+#: keeps being deleted/expired and re-created underneath it.
+MAX_PUT_RETRIES = 3
+
 
 class SketchNotFoundError(ReproError, KeyError):
     """The named sketch does not exist (or has expired)."""
@@ -67,11 +83,69 @@ class SketchExistsError(ReproError):
     """A create targeted a name that is already registered."""
 
 
+class SketchConflictError(ReproError):
+    """A merge-on-put kept losing the race against concurrent
+    delete/expire/re-create cycles on the same name and gave up after
+    :data:`MAX_PUT_RETRIES` attempts."""
+
+
+class ViewMetrics:
+    """Process-wide counters for the cached read path.
+
+    ``hits`` counts warm (lock-free) view reads, ``builds`` counts view
+    rebuilds after a mutation, and ``serializations`` counts the wire
+    frames encoded for those rebuilds.  Tests and benchmarks
+    :meth:`reset` these and assert, e.g., that a warm ``estimate`` loop
+    performs zero builds and zero serializations.
+    """
+
+    __slots__ = ("hits", "builds", "serializations")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.builds = 0
+        self.serializations = 0
+
+
+#: The store's global read-path instrumentation (all instances share it;
+#: per-entry granularity comes from the sketches' own counters, e.g.
+#: ``ShardedF0.merge_rebuilds``).
+VIEW_METRICS = ViewMetrics()
+
+
+class CachedView:
+    """Immutable read products of one entry at a fixed version.
+
+    The store-level generalization of the memoisation
+    :class:`~repro.streaming.estimation.EstimationF0` does internally:
+    estimate, kind and footprint are captured eagerly when the view is
+    built; the wire frame is filled lazily on the first ``serialized``
+    / ``info`` read at this version (ingest-heavy entries never pay for
+    frames nobody asks for).  A view never outlives its entry -- it is
+    reachable only through the :class:`StoredSketch` that owns it.
+    """
+
+    __slots__ = ("version", "kind", "estimate", "space_bits", "frame")
+
+    def __init__(self, version: int, kind: str, estimate: float,
+                 space_bits: int) -> None:
+        self.version = version
+        self.kind = kind
+        self.estimate = estimate
+        self.space_bits = space_bits
+        self.frame: Optional[bytes] = None  # Lazily filled under lock.
+
+
 class StoredSketch:
-    """One registry entry: a sketch plus its lock and lifecycle stamps."""
+    """One registry entry: a sketch plus its lock, version counter,
+    cached view and lifecycle stamps."""
 
     __slots__ = ("name", "sketch", "ttl", "created_at", "updated_at",
-                 "lock")
+                 "lock", "version", "view")
 
     def __init__(self, name: str, sketch, ttl: Optional[float],
                  now: float) -> None:
@@ -81,6 +155,8 @@ class StoredSketch:
         self.created_at = now
         self.updated_at = now
         self.lock = threading.Lock()
+        self.version = 0  # Bumped (under ``lock``) by every mutation.
+        self.view: Optional[CachedView] = None
 
     def expired(self, now: float) -> bool:
         """Whether the TTL has elapsed since the last mutation."""
@@ -97,12 +173,34 @@ class SketchStore:
 
     # -- name map ----------------------------------------------------------
 
+    def _reap_if_expired(self, name: str, entry: StoredSketch) -> bool:
+        """Evict one expired entry -- but never mid-mutation.
+
+        Called under the registry lock.  The entry lock is try-acquired:
+        if a mutation (or view rebuild) holds it, the entry survives
+        this round -- the mutation refreshes ``updated_at`` anyway, and
+        evicting underneath it would silently discard its work.  Expiry
+        is re-checked under the entry lock for the same reason.
+
+        Returns True when the entry was removed.
+        """
+        if not entry.lock.acquire(blocking=False):
+            return False
+        try:
+            if entry.expired(self._clock()) \
+                    and self._entries.get(name) is entry:
+                del self._entries[name]
+                return True
+            return False
+        finally:
+            entry.lock.release()
+
     def _entry(self, name: str) -> StoredSketch:
         """Look up a live entry, reaping it first if expired."""
         with self._registry_lock:
             entry = self._entries.get(name)
-            if entry is not None and entry.expired(self._clock()):
-                del self._entries[name]
+            if entry is not None and entry.expired(self._clock()) \
+                    and self._reap_if_expired(name, entry):
                 entry = None
         if entry is None:
             raise SketchNotFoundError(name)
@@ -113,15 +211,18 @@ class SketchStore:
 
         Raises:
             SketchExistsError: the name is already registered (and not
-                expired).
+                expired, or expired but mid-mutation).
         """
         if ttl is not None and ttl <= 0:
             raise ReproError("ttl must be positive (or None for no expiry)")
         now = self._clock()
         with self._registry_lock:
             existing = self._entries.get(name)
-            if existing is not None and not existing.expired(now):
-                raise SketchExistsError(f"sketch {name!r} already exists")
+            if existing is not None:
+                if not existing.expired(now) \
+                        or not self._reap_if_expired(name, existing):
+                    raise SketchExistsError(
+                        f"sketch {name!r} already exists")
             self._entries[name] = StoredSketch(name, sketch, ttl, now)
 
     def delete(self, name: str) -> None:
@@ -164,6 +265,7 @@ class SketchStore:
         batch = items if isinstance(items, (list, tuple)) else list(items)
         with entry.lock:
             entry.sketch.process_batch(batch)
+            entry.version += 1
             entry.updated_at = self._clock()
         return len(batch)
 
@@ -185,65 +287,116 @@ class SketchStore:
         entry = self._entry(name)
         with entry.lock:
             entry.sketch.merge(incoming)
+            entry.version += 1
             entry.updated_at = self._clock()
 
     def put(self, name: str, sketch, ttl: Optional[float] = None,
             merge: bool = False) -> None:
         """Store a sketch: create, replace, or (``merge=True``) fold into
-        an existing entry; absent names are created either way."""
-        try:
-            if merge:
+        an existing entry; absent names are created either way.
+
+        Raises:
+            SketchConflictError: ``merge=True`` and the name kept being
+                deleted/expired and re-created between the existence
+                check and the merge, :data:`MAX_PUT_RETRIES` times in a
+                row.  (A merge *rejected* by the entry -- incompatible
+                seeds or kind -- raises the entry's own error
+                immediately instead of spinning against it.)
+        """
+        if not merge:
+            now = self._clock()
+            with self._registry_lock:
+                self._entries[name] = StoredSketch(name, sketch, ttl, now)
+            return
+        for _ in range(MAX_PUT_RETRIES):
+            try:
                 self.merge_into(name, sketch)
                 return
-        except SketchNotFoundError:
-            pass
-        now = self._clock()
-        with self._registry_lock:
-            existing = self._entries.get(name)
-            if existing is None or existing.expired(now) or not merge:
-                self._entries[name] = StoredSketch(name, sketch, ttl, now)
-                return
-        # A concurrent create slipped in between the failed merge and the
-        # registry lock; retry the merge against it.
-        self.merge_into(name, sketch)
+            except SketchNotFoundError:
+                pass
+            with self._registry_lock:
+                existing = self._entries.get(name)
+                if existing is None or (
+                        existing.expired(self._clock())
+                        and self._reap_if_expired(name, existing)):
+                    self._entries[name] = StoredSketch(
+                        name, sketch, ttl, self._clock())
+                    return
+            # A concurrent create slipped in between the failed merge
+            # and the registry lock; loop to merge against it.
+        raise SketchConflictError(
+            f"merge-on-put of {name!r} lost the delete/re-create race "
+            f"{MAX_PUT_RETRIES} times; giving up")
+
+    # -- cached read path --------------------------------------------------
+
+    def _view(self, entry: StoredSketch,
+              need_frame: bool = False) -> CachedView:
+        """The entry's view at its current version (lock-free when warm).
+
+        A fresh published view is returned without touching the entry
+        lock -- the view is immutable, so a racing mutation just means
+        this read linearizes before it.  On version mismatch the entry
+        lock is taken and the view rebuilt; ``need_frame`` additionally
+        fills the lazily-encoded wire frame.
+        """
+        view = entry.view
+        if view is not None and view.version == entry.version \
+                and (view.frame is not None or not need_frame):
+            VIEW_METRICS.hits += 1
+            return view
+        with entry.lock:
+            view = entry.view
+            if view is None or view.version != entry.version:
+                sketch = entry.sketch
+                view = CachedView(entry.version, type(sketch).__name__,
+                                  sketch.estimate(), sketch.space_bits())
+                VIEW_METRICS.builds += 1
+            if need_frame and view.frame is None:
+                view.frame = dumps(entry.sketch)
+                VIEW_METRICS.serializations += 1
+            entry.view = view
+        return view
 
     def estimate(self, name: str) -> float:
-        """The named sketch's current F0 estimate (entry-locked)."""
-        entry = self._entry(name)
-        with entry.lock:
-            return entry.sketch.estimate()
+        """The named sketch's current F0 estimate (a warm cached view
+        makes this a lock-free O(1) read)."""
+        return self._view(self._entry(name)).estimate
 
     def info(self, name: str) -> Dict[str, object]:
         """Metadata for one entry: kind, estimate, footprints, stamps."""
         entry = self._entry(name)
-        with entry.lock:
-            sketch = entry.sketch
-            blob = dumps(sketch)
-            return {
-                "name": name,
-                "kind": type(sketch).__name__,
-                "estimate": sketch.estimate(),
-                "space_bits": sketch.space_bits(),
-                "serialized_bytes": len(blob),
-                "ttl": entry.ttl,
-                "age_seconds": self._clock() - entry.updated_at,
-            }
+        view = self._view(entry, need_frame=True)
+        return {
+            "name": name,
+            "kind": view.kind,
+            "estimate": view.estimate,
+            "space_bits": view.space_bits,
+            "serialized_bytes": len(view.frame),
+            "ttl": entry.ttl,
+            "age_seconds": self._clock() - entry.updated_at,
+        }
 
     def serialized(self, name: str) -> bytes:
-        """The named sketch's wire frame (entry-locked snapshot of it)."""
-        entry = self._entry(name)
-        with entry.lock:
-            return dumps(entry.sketch)
+        """The named sketch's wire frame (served from the cached view;
+        encoded at most once per mutation epoch)."""
+        return self._view(self._entry(name), need_frame=True).frame
 
     # -- lifecycle ---------------------------------------------------------
 
     def evict_expired(self) -> List[str]:
-        """Reap every expired entry; returns the evicted names."""
+        """Reap every expired entry; returns the evicted names.
+
+        Entries whose lock is held (a mutation or view rebuild in
+        flight) are skipped this round rather than evicted mid-mutation
+        -- the mutation refreshes ``updated_at`` when it completes, and
+        a later sweep re-examines whatever is genuinely stale.
+        """
         now = self._clock()
         with self._registry_lock:
-            dead = [n for n, e in self._entries.items() if e.expired(now)]
-            for n in dead:
-                del self._entries[n]
+            stale = [(n, e) for n, e in self._entries.items()
+                     if e.expired(now)]
+            dead = [n for n, e in stale if self._reap_if_expired(n, e)]
         return sorted(dead)
 
     # -- snapshots ---------------------------------------------------------
@@ -265,8 +418,13 @@ class SketchStore:
         frames = []
         for entry in entries:
             with entry.lock:
-                frames.append((entry.name, entry.ttl,
-                               dumps(entry.sketch)))
+                view = entry.view
+                if view is not None and view.version == entry.version \
+                        and view.frame is not None:
+                    blob = view.frame  # Fresh cached frame: reuse.
+                else:
+                    blob = dumps(entry.sketch)
+                frames.append((entry.name, entry.ttl, blob))
         out = [SNAPSHOT_MAGIC, struct.pack("<H", FORMAT_VERSION),
                struct.pack("<I", len(frames))]
         for name, ttl, blob in frames:

@@ -31,6 +31,42 @@ from repro.parallel.streaming import ingest_stream_parallel
 DEFAULT_CHUNK_SIZE = 4096
 
 
+class VersionedCache:
+    """Memoize one derived value against a mutation version counter.
+
+    Every sketch is a pure function of the set of elements it has
+    absorbed, so anything derived from it (a coarse level, an estimate,
+    a merged view, a wire frame) stays valid until the next mutation.
+    Holders bump a version counter on every mutation and route derived
+    reads through :meth:`get_or_build`; the cached value is recomputed
+    only on version mismatch.  :class:`~repro.store.store.CachedView`
+    is the store-level analogue over whole registry entries.
+
+    Not a lock: concurrent readers may race a writer into one redundant
+    rebuild (both build from the same version, so both results are
+    identical); callers needing stronger guarantees hold their own lock
+    around :meth:`get_or_build`.
+    """
+
+    __slots__ = ("_version", "_value")
+
+    def __init__(self) -> None:
+        self._version: object = None  # None = never built.
+        self._value: object = None
+
+    def get_or_build(self, version, build):
+        """The cached value at ``version``, rebuilding on mismatch."""
+        if self._version != version or self._version is None:
+            self._value = build()
+            self._version = version
+        return self._value
+
+    def invalidate(self) -> None:
+        """Drop the cached value (the next read rebuilds)."""
+        self._version = None
+        self._value = None
+
+
 @dataclass(frozen=True)
 class SketchParams:
     """(eps, delta) plus the paper's constants.

@@ -23,7 +23,7 @@ from repro.common.errors import InvalidParameterError
 from repro.common.rng import RandomSource
 from repro.common.stats import median
 from repro.hashing.kwise import KWiseHash, KWiseHashFamily
-from repro.streaming.base import SketchParams
+from repro.streaming.base import SketchParams, VersionedCache
 
 try:
     import numpy as _np
@@ -88,9 +88,12 @@ class EstimationF0:
     parallel, as the paper prescribes, via ``estimate_with_rough``.
 
     Repeated estimates on an unchanged sketch are memoised: every
-    mutation (``process``/``process_batch``/``merge``) bumps a version
-    counter, and the self-derived coarse level ``r`` plus the resulting
-    estimate are cached against it.
+    mutation (``process``/``process_batch``/``merge``) bumps the
+    :attr:`version` counter, and the self-derived coarse level ``r``
+    plus the resulting estimate are cached against it through
+    :class:`~repro.streaming.base.VersionedCache` -- the same
+    version-mismatch discipline the sketch store applies to whole
+    entries.
     """
 
     def __init__(self, universe_bits: int, params: SketchParams,
@@ -107,8 +110,13 @@ class EstimationF0:
             for _ in range(params.repetitions)
         ]
         self._version = 0
-        self._cached_r: tuple | None = None  # (version, r)
-        self._cached_estimate: tuple | None = None  # (version, value)
+        self._r_cache = VersionedCache()
+        self._estimate_cache = VersionedCache()
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (bumped by process/process_batch/merge)."""
+        return self._version
 
     def process(self, x: int) -> None:
         for row in self.rows:
@@ -149,23 +157,17 @@ class EstimationF0:
         ``[2 F0, 50 F0]`` whenever the coarse level is within its usual
         factor-5 band.
         """
-        cached = self._cached_r
-        if cached is not None and cached[0] == self._version:
-            return cached[1]
-        level_guesses = [median(row.maxima) for row in self.rows]
-        coarse = median(level_guesses)
-        r = min(int(coarse) + 3, self.universe_bits)
-        self._cached_r = (self._version, r)
-        return r
+        def build() -> int:
+            level_guesses = [median(row.maxima) for row in self.rows]
+            coarse = median(level_guesses)
+            return min(int(coarse) + 3, self.universe_bits)
+
+        return self._r_cache.get_or_build(self._version, build)
 
     def estimate(self) -> float:
         """Estimate without an externally supplied ``r`` (memoised)."""
-        cached = self._cached_estimate
-        if cached is not None and cached[0] == self._version:
-            return cached[1]
-        value = self.estimate_given_r(self.coarse_r())
-        self._cached_estimate = (self._version, value)
-        return value
+        return self._estimate_cache.get_or_build(
+            self._version, lambda: self.estimate_given_r(self.coarse_r()))
 
     def space_bits(self) -> int:
         """Seed bits plus one counter per hash function."""

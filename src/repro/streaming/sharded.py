@@ -30,11 +30,24 @@ from typing import Iterable, List, Optional, Sequence
 from repro.common.errors import InvalidParameterError
 from repro.parallel.executor import Executor, executor_for
 from repro.parallel.streaming import ingest_stream_parallel
-from repro.streaming.base import DEFAULT_CHUNK_SIZE, F0Sketch, chunked
+from repro.streaming.base import (
+    DEFAULT_CHUNK_SIZE,
+    F0Sketch,
+    VersionedCache,
+    chunked,
+)
 
 
 class ShardedF0:
     """Round-robin partition of a stream across ``k`` sketch replicas.
+
+    Reads are served from a **cached merged view**: the combined sketch
+    is a pure function of the mutation history, so it is memoised
+    against a mutation version counter and rebuilt only after the next
+    ingest/merge (``merge_rebuilds`` counts the rebuilds -- the read
+    path's instrumentation hook).  A warm ``estimate()`` therefore does
+    zero merge work, which is what lets a service front many concurrent
+    readers with one sharded sketch.
 
     Args:
         prototype: a freshly built (empty) sketch implementing the
@@ -54,15 +67,40 @@ class ShardedF0:
         self.shards: List[F0Sketch] = [prototype] + [
             copy.deepcopy(prototype) for _ in range(shards - 1)]
         self._cursor = 0  # Round-robin position for scalar ingestion.
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        """Fresh mutation counter + empty merged-view cache (also the
+        post-decode/unpickle hook -- caches never travel the wire)."""
+        self._version = 0
+        self._merged_cache = VersionedCache()
+        self._estimate_cache = VersionedCache()
+        self.merge_rebuilds = 0  # Times the merged view was recomputed.
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (bumped on every ingest/merge path)."""
+        return self._version
 
     @property
     def num_shards(self) -> int:
         return len(self.shards)
 
+    def __getstate__(self):
+        """Pickle shards + cursor only: the merged view can be a whole
+        extra sketch copy, never worth shipping across a process pool."""
+        return {"shards": self.shards, "_cursor": self._cursor}
+
+    def __setstate__(self, state) -> None:
+        self.shards = state["shards"]
+        self._cursor = state["_cursor"]
+        self._init_caches()
+
     def process(self, x: int) -> None:
         """Route one item to the next shard in round-robin order."""
         self.shards[self._cursor].process(x)
         self._cursor = (self._cursor + 1) % len(self.shards)
+        self._version += 1
 
     def process_batch(self, xs: Sequence[int]) -> None:
         """Hand the whole chunk to the next shard in round-robin order
@@ -71,6 +109,7 @@ class ShardedF0:
             return
         self.shards[self._cursor].process_batch(xs)
         self._cursor = (self._cursor + 1) % len(self.shards)
+        self._version += 1
 
     def process_stream(self, stream: Iterable[int],
                        chunk_size: int = DEFAULT_CHUNK_SIZE,
@@ -105,6 +144,7 @@ class ShardedF0:
                 self.shards = ingest_stream_parallel(
                     ex, self.shards, chunked(stream, chunk_size),
                     wire=wire)
+                self._version += 1
 
     def merge(self, other: "ShardedF0") -> None:
         """Fold another sharded run (same prototype seeds) shard-wise."""
@@ -112,18 +152,37 @@ class ShardedF0:
             raise InvalidParameterError("shard counts differ")
         for mine, theirs in zip(self.shards, other.shards):
             mine.merge(theirs)
+        self._version += 1
+
+    def merged_view(self) -> F0Sketch:
+        """The cached combined sketch (the coordinator combine, memoised
+        against the mutation version).
+
+        The returned sketch is the cache's single shared instance:
+        treat it as read-only.  Mutating callers want :meth:`merged`,
+        which hands out a private copy.
+        """
+        def build() -> F0Sketch:
+            self.merge_rebuilds += 1
+            combined = copy.deepcopy(self.shards[0])
+            for shard in self.shards[1:]:
+                combined.merge(shard)
+            return combined
+
+        return self._merged_cache.get_or_build(self._version, build)
 
     def merged(self) -> F0Sketch:
         """One sketch holding the union of all shards (the coordinator
-        combine); the shards themselves are left untouched."""
-        combined = copy.deepcopy(self.shards[0])
-        for shard in self.shards[1:]:
-            combined.merge(shard)
-        return combined
+        combine); the shards themselves are left untouched.  The copy is
+        the caller's to mutate -- read paths that only need to *look* at
+        the union use :meth:`merged_view` and skip the copy too."""
+        return copy.deepcopy(self.merged_view())
 
     def estimate(self) -> float:
-        """Estimate of the merged sketch."""
-        return self.merged().estimate()
+        """Estimate of the merged view (cache-warm calls do zero merge
+        work -- both the view and the resulting value are memoised)."""
+        return self._estimate_cache.get_or_build(
+            self._version, lambda: self.merged_view().estimate())
 
     def space_bits(self) -> int:
         """Total footprint across shards (what a k-site run would hold)."""

@@ -211,12 +211,11 @@ class TestEstimationMemoisation:
         est.process_batch(list(range(200)))
         first = est.estimate()
         assert est.estimate() == first
-        assert est._cached_estimate is not None
-        version = est._version
+        version = est.version
         est.estimate()
-        assert est._version == version  # Estimates do not mutate.
+        assert est.version == version  # Estimates do not mutate.
         est.process(4095)
-        assert est._version != version  # Mutations bump the version.
+        assert est.version != version  # Mutations bump the version.
         assert est.estimate() == est.estimate()
 
     def test_coarse_r_matches_recomputation(self):

@@ -210,6 +210,31 @@ class TestServiceVerbs:
         assert "universe-bits" in str(exc.value.code)
 
 
+class TestServeFlags:
+    def test_unknown_frontend_friendly_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--frontend", "bogus"])
+        assert "repro frontends" in str(exc.value.code)
+
+    def test_cluster_needs_urls(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--cluster", " , "])
+        assert "comma-separated" in str(exc.value.code)
+
+    def test_cluster_rejects_store_flags(self):
+        for flag in (["--snapshot", "x.bin"], ["--restore"],
+                     ["--snapshot-on-exit", "x.bin"]):
+            with pytest.raises(SystemExit) as exc:
+                main(["serve", "--cluster", "http://h1:1"] + flag)
+            assert "per-node" in str(exc.value.code), flag
+
+    def test_frontends_verb_lists_registry(self, capsys):
+        assert main(["frontends"]) == 0
+        out = capsys.readouterr().out
+        assert "threading (default):" in out
+        assert "asyncio:" in out
+
+
 class TestF0Command:
     def test_f0_estimate(self, tmp_path, capsys):
         rng = random.Random(0)

@@ -1,0 +1,273 @@
+"""Unit tests for the transport-independent service router.
+
+The acceptance bar (ISSUE 6): every endpoint of the service API is
+exercised through ``Router.handle(method, path, body)`` directly -- no
+socket is ever bound -- proving the routing layer is a pure function
+the front ends merely transport.
+"""
+
+import json
+import random
+import struct
+
+import pytest
+
+from repro.service.router import (
+    Response,
+    Router,
+    join_frames,
+    split_frames,
+)
+from repro.store import StoreFormatError, build_sketch, dumps, loads
+from repro.store.store import SketchStore
+from repro.streaming import SketchParams
+
+SMALL = SketchParams(eps=0.7, delta=0.3,
+                     thresh_constant=10.0, repetitions_constant=2.0)
+
+CREATE = {"kind": "minimum", "universe_bits": 14, "seed": 5,
+          "eps": SMALL.eps, "delta": SMALL.delta,
+          "thresh_constant": SMALL.thresh_constant,
+          "repetitions_constant": SMALL.repetitions_constant}
+
+
+def stream(universe_bits, count, seed=0):
+    rng = random.Random(seed)
+    return [rng.getrandbits(universe_bits) for _ in range(count)]
+
+
+def jbody(payload):
+    return json.dumps(payload).encode("utf-8")
+
+
+@pytest.fixture
+def router():
+    return Router()
+
+
+def make_created(router, name="s", **overrides):
+    payload = dict(CREATE, name=name, **overrides)
+    reply = router.handle("POST", "/v1/sketches", jbody(payload))
+    assert reply.status == 201, reply.payload
+    return payload
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        frames = [b"", b"x", b"frame-two", bytes(range(256))]
+        assert split_frames(join_frames(frames)) == frames
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(StoreFormatError):
+            split_frames(b"")
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(StoreFormatError):
+            split_frames(b"\x01\x00")
+
+    def test_overrunning_frame_rejected(self):
+        body = struct.pack("<I", 10) + b"short"
+        with pytest.raises(StoreFormatError):
+            split_frames(body)
+
+    def test_trailing_garbage_rejected(self):
+        body = join_frames([b"ok"]) + b"\xff\xff"
+        with pytest.raises(StoreFormatError):
+            split_frames(body)
+
+
+class TestRouterEndpoints:
+    """One test per wire-protocol endpoint, no sockets anywhere."""
+
+    def test_healthz(self, router):
+        reply = router.handle("GET", "/healthz")
+        assert reply.status == 200
+        assert reply.json_body() == {"status": "ok", "sketches": 0}
+
+    def test_create_and_list(self, router):
+        make_created(router, "a")
+        reply = router.handle("GET", "/v1/sketches")
+        assert reply.status == 200
+        assert reply.json_body()["sketches"] == ["a"]
+
+    def test_info(self, router):
+        make_created(router, "a")
+        reply = router.handle("GET", "/v1/sketches/a")
+        assert reply.status == 200
+        info = reply.json_body()
+        assert info["kind"] == "MinimumF0"
+        assert info["serialized_bytes"] > 0
+
+    def test_put_upload_create_or_replace(self, router):
+        sketch = build_sketch("exact", 0, SMALL)
+        sketch.process_batch([1, 2, 3])
+        reply = router.handle("PUT", "/v1/sketches/up", dumps(sketch))
+        assert reply.status == 200
+        est = router.handle("GET", "/v1/sketches/up/estimate")
+        assert est.json_body()["estimate"] == 3.0
+
+    def test_delete(self, router):
+        make_created(router, "a")
+        assert router.handle("DELETE", "/v1/sketches/a").status == 200
+        assert router.handle("GET", "/v1/sketches/a").status == 404
+
+    def test_blob_round_trips(self, router):
+        make_created(router, "a")
+        items = stream(14, 300, seed=1)
+        router.handle("POST", "/v1/sketches/a/ingest",
+                      jbody({"items": items}))
+        blob = router.handle("GET", "/v1/sketches/a/blob")
+        assert blob.status == 200
+        assert blob.content_type == "application/octet-stream"
+        decoded = loads(blob.payload)
+        reference = build_sketch("minimum", 14, SMALL, seed=5)
+        reference.process_batch(items)
+        assert decoded.estimate() == reference.estimate()
+
+    def test_estimate(self, router):
+        make_created(router, "a", kind="exact")
+        router.handle("POST", "/v1/sketches/a/ingest",
+                      jbody({"items": [1, 2, 2, 3]}))
+        reply = router.handle("GET", "/v1/sketches/a/estimate")
+        assert reply.json_body() == {"name": "a", "estimate": 3.0}
+
+    def test_ingest(self, router):
+        make_created(router, "a")
+        reply = router.handle("POST", "/v1/sketches/a/ingest",
+                              jbody({"items": [7, 8]}))
+        assert reply.status == 200
+        assert reply.json_body()["ingested"] == 2
+
+    def test_merge(self, router):
+        make_created(router, "a")
+        shard = build_sketch("minimum", 14, SMALL, seed=5)
+        items = stream(14, 200, seed=2)
+        shard.process_batch(items)
+        reply = router.handle("POST", "/v1/sketches/a/merge",
+                              dumps(shard))
+        assert reply.status == 200
+        est = router.handle("GET", "/v1/sketches/a/estimate").json_body()
+        assert est["estimate"] == shard.estimate()
+
+    def test_frames_batched_merge(self, router):
+        make_created(router, "a")
+        items = stream(14, 900, seed=3)
+        shards = []
+        for i in range(3):
+            shard = build_sketch("minimum", 14, SMALL, seed=5)
+            shard.process_batch(items[i::3])
+            shards.append(shard)
+        body = join_frames([dumps(s) for s in shards])
+        reply = router.handle("POST", "/v1/sketches/a/frames", body)
+        assert reply.status == 200
+        assert reply.json_body()["frames"] == 3
+        reference = build_sketch("minimum", 14, SMALL, seed=5)
+        reference.process_batch(items)
+        est = router.handle("GET", "/v1/sketches/a/estimate").json_body()
+        assert est["estimate"] == reference.estimate()
+
+    def test_snapshot_and_restore(self, router, tmp_path):
+        path = str(tmp_path / "snap.bin")
+        make_created(router, "a", kind="exact")
+        router.handle("POST", "/v1/sketches/a/ingest",
+                      jbody({"items": [1, 2]}))
+        reply = router.handle("POST", "/v1/snapshot",
+                              jbody({"path": path}))
+        assert reply.status == 200
+        assert reply.json_body()["sketches"] == 1
+
+        fresh = Router(SketchStore())
+        reply = fresh.handle("POST", "/v1/restore", jbody({"path": path}))
+        assert reply.status == 200
+        assert reply.json_body()["restored"] == 1
+        est = fresh.handle("GET", "/v1/sketches/a/estimate").json_body()
+        assert est["estimate"] == 2.0
+
+    def test_snapshot_uses_default_path(self, tmp_path):
+        path = str(tmp_path / "default.bin")
+        router = Router(snapshot_path=path)
+        make_created(router, "a", kind="exact")
+        assert router.handle("POST", "/v1/snapshot").status == 200
+        assert router.handle("POST", "/v1/restore").status == 200
+
+
+class TestRouterErrors:
+    def test_unknown_name_404(self, router):
+        for method, path in [("GET", "/v1/sketches/nope"),
+                             ("GET", "/v1/sketches/nope/estimate"),
+                             ("GET", "/v1/sketches/nope/blob"),
+                             ("DELETE", "/v1/sketches/nope")]:
+            assert router.handle(method, path).status == 404, path
+
+    def test_unknown_path_404(self, router):
+        assert router.handle("GET", "/v2/everything").status == 404
+        assert router.handle("GET", "/").status == 404
+
+    def test_wrong_method_404(self, router):
+        make_created(router, "a")
+        assert router.handle("PUT", "/v1/sketches/a/estimate").status \
+            == 404
+
+    def test_duplicate_create_409(self, router):
+        make_created(router, "a")
+        reply = router.handle("POST", "/v1/sketches",
+                              jbody(dict(CREATE, name="a")))
+        assert reply.status == 409
+
+    def test_bad_name_400(self, router):
+        reply = router.handle("POST", "/v1/sketches",
+                              jbody(dict(CREATE, name="a/b")))
+        assert reply.status == 400
+
+    def test_malformed_json_400(self, router):
+        reply = router.handle("POST", "/v1/sketches", b"{nope")
+        assert reply.status == 400
+        reply = router.handle("POST", "/v1/sketches", b"[1, 2]")
+        assert reply.status == 400
+
+    def test_bad_ingest_items_400(self, router):
+        make_created(router, "a")
+        reply = router.handle("POST", "/v1/sketches/a/ingest",
+                              jbody({"items": ["x"]}))
+        assert reply.status == 400
+
+    def test_malformed_frame_400(self, router):
+        make_created(router, "a")
+        assert router.handle("POST", "/v1/sketches/a/merge",
+                             b"junk").status == 400
+        assert router.handle("POST", "/v1/sketches/a/frames",
+                             b"junk").status == 400
+        assert router.handle("POST", "/v1/sketches/a/frames",
+                             b"").status == 400
+
+    def test_incompatible_merge_400(self, router):
+        make_created(router, "a")
+        foreign = build_sketch("minimum", 14, SMALL, seed=99)
+        reply = router.handle("POST", "/v1/sketches/a/merge",
+                              dumps(foreign))
+        assert reply.status == 400
+
+    def test_snapshot_without_path_400(self, router):
+        assert router.handle("POST", "/v1/snapshot").status == 400
+        assert router.handle("POST", "/v1/restore").status == 400
+
+    def test_restore_missing_file_404(self, router, tmp_path):
+        reply = router.handle("POST", "/v1/restore",
+                              jbody({"path": str(tmp_path / "no.bin")}))
+        assert reply.status == 404
+
+    def test_responses_are_json_errors(self, router):
+        reply = router.handle("GET", "/v1/sketches/nope")
+        assert "error" in reply.json_body()
+        assert reply.content_type == "application/json"
+
+
+class TestResponse:
+    def test_helpers(self):
+        assert Response.json(200, {"a": 1}).json_body() == {"a": 1}
+        blob = Response.blob(b"\x00\x01")
+        assert blob.status == 200
+        assert blob.content_type == "application/octet-stream"
+        err = Response.error(404, "gone")
+        assert err.status == 404
+        assert err.json_body() == {"error": "gone"}

@@ -4,6 +4,10 @@ The acceptance flow (ISSUE 5): create -> parallel shard pushes ->
 merge -> query -> snapshot -> restart -> restore -> same estimate,
 plus a concurrent-client smoke with >= 8 threads returning correct
 estimates.
+
+The ``server`` fixture is parametrized over every registered front end
+(ISSUE 6), so each endpoint test doubles as a threading/asyncio parity
+check: same router, same wire behaviour, different transport.
 """
 
 import random
@@ -11,7 +15,8 @@ import threading
 
 import pytest
 
-from repro.service import F0Server, ServiceClient, ServiceError
+from repro.service import F0Server, Router, ServiceClient, ServiceError
+from repro.service.frontends import create_frontend, frontend_names
 from repro.store import build_sketch
 from repro.streaming import SketchParams
 
@@ -23,9 +28,10 @@ CREATE_KWARGS = dict(eps=SMALL.eps, delta=SMALL.delta,
                      repetitions_constant=SMALL.repetitions_constant)
 
 
-@pytest.fixture
-def server():
-    srv = F0Server(("127.0.0.1", 0)).start_background()
+@pytest.fixture(params=frontend_names())
+def server(request):
+    srv = create_frontend(request.param, ("127.0.0.1", 0),
+                          Router()).start_background()
     yield srv
     srv.stop()
 
@@ -327,3 +333,104 @@ class TestServedFlow:
         reference = build_sketch("minimum", universe_bits, SMALL, seed=21)
         reference.process_batch(items)
         assert client.estimate("mixed") == reference.estimate()
+
+
+class TestBatchedFrames:
+    def test_push_frames_over_http(self, server):
+        """Many shard uploads in ONE request; union equals serial."""
+        client = ServiceClient(server.url)
+        client.create("batched", kind="minimum", universe_bits=14,
+                      seed=6, **CREATE_KWARGS)
+        items = stream(14, 1200, seed=5)
+        shards = []
+        for i in range(4):
+            shard = build_sketch("minimum", 14, SMALL, seed=6)
+            shard.process_batch(items[i::4])
+            shards.append(shard)
+        assert client.push_frames("batched", shards) == 4
+        reference = build_sketch("minimum", 14, SMALL, seed=6)
+        reference.process_batch(items)
+        assert client.estimate("batched") == reference.estimate()
+
+    def test_malformed_batch_is_400(self, server):
+        client = ServiceClient(server.url)
+        client.create("a", universe_bits=8)
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/v1/sketches/a/frames",
+                            b"\x02\x00\x00",  # Truncated length prefix.
+                            content_type="application/octet-stream")
+        assert exc.value.status == 400
+
+
+class TestFrontendRegistry:
+    def test_both_frontends_registered(self):
+        names = frontend_names()
+        assert "threading" in names
+        assert "asyncio" in names
+
+    def test_cli_lists_frontends(self, capsys):
+        from repro.cli import main
+        assert main(["frontends"]) == 0
+        out = capsys.readouterr().out
+        assert "threading (default):" in out
+        assert "asyncio:" in out
+
+    def test_unknown_frontend_rejected(self):
+        from repro.common.errors import ReproError
+        from repro.service.frontends import create_frontend
+        with pytest.raises(ReproError):
+            create_frontend("bogus", ("127.0.0.1", 0), Router())
+
+    def test_duplicate_registration_rejected(self):
+        from repro.common.errors import ReproError
+        from repro.service.frontends import register_frontend
+        with pytest.raises(ReproError):
+            register_frontend("threading", "dup", lambda *a, **k: None)
+
+
+class TestGracefulShutdown:
+    def test_sigterm_snapshots_and_exits_cleanly(self, tmp_path):
+        """``repro serve --snapshot-on-exit``: SIGTERM must drain, write
+        the snapshot, and exit 0 -- the redeploy-without-data-loss path."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        snap = tmp_path / "exit.bin"
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--quiet", "--snapshot-on-exit", str(snap)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            banner = [None]
+
+            def read_banner():
+                banner[0] = proc.stdout.readline()
+
+            reader = threading.Thread(target=read_banner, daemon=True)
+            reader.start()
+            reader.join(timeout=20)
+            assert banner[0], "service never printed its URL banner"
+            url = re.search(r"http://[0-9.:]+", banner[0]).group(0)
+
+            client = ServiceClient(url)
+            client.create("persisted", kind="exact")
+            client.ingest("persisted", [1, 2, 3, 3])
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=20) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        from repro.store import SketchStore
+        store = SketchStore()
+        assert store.restore(str(snap)) == 1
+        assert store.estimate("persisted") == 3.0
