@@ -5,8 +5,10 @@ Examples::
     python -m repro count formula.cnf --algorithm bucketing --eps 0.8
     python -m repro count formula.cnf --oracle bruteforce
     python -m repro count formula.dnf --algorithm minimum --workers 4
+    python -m repro count formula.cnf --kernel numba
     python -m repro sample formula.dnf --count 5
     python -m repro backends
+    python -m repro kernels
     python -m repro f0 items.txt --universe-bits 16 --sketch minimum
     python -m repro f0 items.txt --universe-bits 16 --workers 0
     python -m repro serve --port 8080 --snapshot sketches.bin
@@ -21,7 +23,10 @@ problem line); ``f0`` reads one integer item per line.  ``--workers``
 fans counter repetitions / stream chunks out over a process pool
 (``0`` = all cores) with bit-identical results to serial execution.
 ``--oracle`` selects the NP-oracle solver backend from the registry
-(``python -m repro backends`` lists what is installed).
+(``python -m repro backends`` lists what is installed).  ``--kernel``
+selects the compute kernel driving the solver and hashing inner loops
+(``python -m repro kernels`` lists them; the ``REPRO_KERNEL``
+environment variable sets the session default).
 
 ``serve`` runs the long-lived sketch service of :mod:`repro.service` --
 ``--frontend`` picks the transport (``repro frontends`` lists them),
@@ -50,6 +55,13 @@ from repro.core.sampling import sample_solutions
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.dimacs import parse_dimacs_cnf, parse_dimacs_dnf
 from repro.formulas.dnf import DnfFormula
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    has_kernel,
+    kernel_info,
+    kernel_names,
+    set_default_kernel,
+)
 from repro.sat.backends import DEFAULT_BACKEND, backend_info, backend_names
 from repro.store.factory import SKETCH_KINDS
 from repro.streaming.base import (
@@ -95,6 +107,10 @@ def _cmd_count(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--oracle has no effect on --algorithm {args.algorithm} "
             "(no NP-oracle probes are issued); drop the flag")
+    if args.algorithm in ("exact", "karp-luby") and args.kernel:
+        raise SystemExit(
+            f"--kernel has no effect on --algorithm {args.algorithm} "
+            "(no solver or hash inner loops run); drop the flag")
     if args.algorithm == "exact":
         print(exact_model_count(formula))
         return 0
@@ -112,7 +128,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         "estimation": approx_model_count_est,
     }[args.algorithm]
     result = runner(formula, params, rng, workers=args.workers,
-                    backend=args.oracle)
+                    backend=args.oracle, kernel=args.kernel)
     print(f"{result.estimate:.6g}")
     print(f"oracle calls: {result.oracle_calls}", file=sys.stderr)
     return 0
@@ -122,7 +138,7 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     formula = _load_formula(args.formula)
     rng = random.Random(args.seed)
     for model in sample_solutions(formula, rng, args.count,
-                                  backend=args.oracle):
+                                  backend=args.oracle, kernel=args.kernel):
         lits = [v if (model >> (v - 1)) & 1 else -v
                 for v in range(1, formula.num_vars + 1)]
         print(" ".join(str(l) for l in lits) + " 0")
@@ -135,6 +151,17 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         info = backend_info(name)
         marker = " (default)" if name == DEFAULT_BACKEND else ""
         print(f"{name}{marker}: {info.description}")
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    """List the registered compute kernels with availability."""
+    for name in kernel_names():
+        info = kernel_info(name)
+        marker = " (default)" if name == DEFAULT_KERNEL else ""
+        status = ("" if info.available
+                  else f" [unavailable: {info.unavailable_reason}]")
+        print(f"{name}{marker}: {info.description}{status}")
     return 0
 
 
@@ -277,6 +304,22 @@ def _workers_arg(text: str) -> int:
     return value
 
 
+def _kernel_arg(text: str) -> str:
+    """Parse ``--kernel`` with a friendly message (the registered names
+    and, for a registered-but-missing kernel, why it cannot be used)
+    instead of an InvalidParameterError traceback at first use."""
+    if not has_kernel(text):
+        raise argparse.ArgumentTypeError(
+            f"unknown kernel {text!r}; registered: "
+            f"{', '.join(kernel_names())} (see `repro kernels`)")
+    info = kernel_info(text)
+    if not info.available:
+        raise argparse.ArgumentTypeError(
+            f"kernel {text!r} is not usable here: "
+            f"{info.unavailable_reason}")
+    return text
+
+
 def _chunk_size_arg(text: str) -> int:
     """Parse ``--chunk-size`` with a friendly message instead of an
     InvalidParameterError traceback from deep inside ``chunked``."""
@@ -333,6 +376,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="NP-oracle solver backend (see `repro "
                             f"backends`; default {DEFAULT_BACKEND})")
 
+    def add_kernel(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--kernel", type=_kernel_arg, default=None,
+                       metavar="KERNEL",
+                       help="compute kernel for the solver and hashing "
+                            "inner loops (see `repro kernels`; default "
+                            f"$REPRO_KERNEL or {DEFAULT_KERNEL})")
+
     count = sub.add_parser("count", help="approximate model counting")
     count.add_argument("formula", type=_input_file_arg,
                        help="DIMACS cnf/dnf file")
@@ -342,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(count)
     add_workers(count)
     add_oracle(count)
+    add_kernel(count)
     count.set_defaults(func=_cmd_count)
 
     sample = sub.add_parser("sample", help="near-uniform solution samples")
@@ -350,11 +401,16 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--count", type=int, default=1)
     add_common(sample)
     add_oracle(sample)
+    add_kernel(sample)
     sample.set_defaults(func=_cmd_sample)
 
     backends = sub.add_parser(
         "backends", help="list registered NP-oracle backends")
     backends.set_defaults(func=_cmd_backends)
+
+    kernels = sub.add_parser(
+        "kernels", help="list registered compute kernels")
+    kernels.set_defaults(func=_cmd_kernels)
 
     f0 = sub.add_parser("f0", help="distinct elements of an item stream")
     f0.add_argument("items", type=_input_file_arg,
@@ -371,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
                          f"(default {DEFAULT_CHUNK_SIZE})")
     add_common(f0)
     add_workers(f0)
+    add_kernel(f0)
     f0.set_defaults(func=_cmd_f0)
 
     serve = sub.add_parser(
@@ -448,7 +505,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (also used directly by the test suite)."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    kernel = getattr(args, "kernel", None)
+    if kernel is None:
+        return args.func(args)
+    # Scope the registry default to this invocation: hash families the
+    # command builds internally pick the kernel up without explicit
+    # threading, and in-process callers (the test suite) see no leak.
+    set_default_kernel(kernel)
+    try:
+        return args.func(args)
+    finally:
+        set_default_kernel(None)
 
 
 if __name__ == "__main__":

@@ -75,3 +75,22 @@ def reverse_bits(x: int, width: int) -> int:
         out = (out << 1) | (x & 1)
         x >>= 1
     return out
+
+
+def trailing_zeros_batch(values, width: int, kernel: str | None = None):
+    """Batched :func:`trailing_zeros` over a uint64 numpy array.
+
+    Dispatches to the selected compute kernel (:mod:`repro.kernels`) --
+    SWAR bit tricks on the default ``python`` kernel, an njit-compiled
+    loop on ``numba``.  Returns an int64 array (``width`` for zeros).
+    """
+    from repro.kernels import get_kernel
+    return get_kernel(kernel).trail_zeros_batch(values, width)
+
+
+def bit_length_batch(values, kernel: str | None = None):
+    """Batched ``int.bit_length`` over a uint64 numpy array (int64 out;
+    0 for 0).  ``leading_zeros`` of a ``width``-bit value is ``width``
+    minus this, which is how the hash layer computes cell levels."""
+    from repro.kernels import get_kernel
+    return get_kernel(kernel).bit_length_batch(values)

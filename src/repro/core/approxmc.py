@@ -135,6 +135,7 @@ class BucketingStrategy(CounterStrategy):
     search: SearchStrategy = "linear"
     incremental: bool = True
     backend: Optional[str] = None
+    kernel: Optional[str] = None
     #: Caller-supplied hash functions (the sketch-equivalence experiment
     #: feeds the same functions to the streaming side); ``None`` samples.
     hashes: Optional[Sequence[LinearHash]] = field(default=None)
@@ -147,10 +148,13 @@ class BucketingStrategy(CounterStrategy):
     def sample_hashes(self, rng: RandomSource) -> List[LinearHash]:
         n = self.formula.num_vars
         return presampled_hashes(self.hashes, self.repetitions,
-                                 ToeplitzHashFamily(n, n), rng)
+                                 ToeplitzHashFamily(n, n,
+                                                    kernel=self.kernel),
+                                 rng)
 
     def run_repetition(self, h: LinearHash) -> Tuple[Tuple[int, int], int]:
-        oracle = (NpOracle(self.formula, backend=self.backend)
+        oracle = (NpOracle(self.formula, backend=self.backend,
+                           kernel=self.kernel)
                   if isinstance(self.formula, CnfFormula) else None)
         cells = cell_search_for(self.formula, h, self.thresh, oracle=oracle,
                                 incremental=self.incremental)
@@ -173,6 +177,7 @@ def approx_mc(
     workers: int = 1,
     executor: Optional[Executor] = None,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> CountResult:
     """Run ApproxMC (Algorithm 5); see module docstring.
 
@@ -203,6 +208,8 @@ def approx_mc(
             keeps ownership).
         backend: NP-oracle solver backend name (registry default when
             ``None``).
+        kernel: compute-kernel name for the solver inner loops
+            (:mod:`repro.kernels` registry default when ``None``).
 
     Returns:
         An :class:`~repro.core.results.ApproxCountResult` with the
@@ -217,6 +224,7 @@ def approx_mc(
     strategy = BucketingStrategy(
         formula=formula, thresh=params.thresh,
         repetitions=params.repetitions, search=search,
-        incremental=incremental, backend=backend, hashes=hashes)
+        incremental=incremental, backend=backend, kernel=kernel,
+        hashes=hashes)
     return RepetitionEngine(strategy).run(rng, workers=workers,
                                           executor=executor)

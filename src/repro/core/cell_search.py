@@ -247,7 +247,8 @@ def cell_search_for(formula: Formula, h: LinearHash, thresh: int,
                     oracle: Optional[NpOracle] = None,
                     target: int = 0,
                     incremental: bool = True,
-                    backend: Optional[str] = None) -> CellSearch:
+                    backend: Optional[str] = None,
+                    kernel: Optional[str] = None) -> CellSearch:
     """Pick the cell-search implementation for a formula representation.
 
     ``incremental=False`` selects the fresh-solver CNF baseline (the DNF
@@ -255,7 +256,9 @@ def cell_search_for(formula: Formula, h: LinearHash, thresh: int,
     the CNF path the probes ride whatever solver backend the supplied
     ``oracle`` resolves (:mod:`repro.sat.backends`); alternatively pass a
     ``backend`` name and a fresh :class:`NpOracle` is opened on it --
-    its call count stays readable as ``cells.oracle.calls``.
+    its call count stays readable as ``cells.oracle.calls``.  ``kernel``
+    names the compute kernel for that freshly opened oracle (ignored
+    when an ``oracle`` is supplied; the oracle already carries one).
     """
     if isinstance(formula, DnfFormula):
         return DnfCellSearch(formula, h, thresh, target)
@@ -264,6 +267,6 @@ def cell_search_for(formula: Formula, h: LinearHash, thresh: int,
             raise InvalidParameterError(
                 "cell search on CNF requires an NpOracle (or a backend "
                 "name to open one on)")
-        oracle = NpOracle(formula, backend=backend)
+        oracle = NpOracle(formula, backend=backend, kernel=kernel)
     cls = CellSearchEngine if incremental else FreshSolverCellSearch
     return cls(formula, h, thresh, oracle, target)

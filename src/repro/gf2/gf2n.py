@@ -17,6 +17,7 @@ from functools import lru_cache
 from typing import List
 
 from repro.common.errors import InvalidParameterError
+from repro.kernels import get_kernel
 
 try:
     import numpy as _np
@@ -141,9 +142,10 @@ def find_irreducible(n: int) -> int:
 class GF2n:
     """Arithmetic in GF(2^n) with a fixed (deterministic) modulus."""
 
-    __slots__ = ("n", "modulus", "size")
+    __slots__ = ("n", "modulus", "size", "kernel")
 
-    def __init__(self, n: int, modulus: int | None = None) -> None:
+    def __init__(self, n: int, modulus: int | None = None,
+                 kernel: str | None = None) -> None:
         if n < 1:
             raise InvalidParameterError("field degree must be >= 1")
         if modulus is None:
@@ -155,6 +157,9 @@ class GF2n:
         self.n = n
         self.modulus = modulus
         self.size = 1 << n
+        #: Compute-kernel name for the batched paths (None follows the
+        #: registry's override / ``REPRO_KERNEL`` / default resolution).
+        self.kernel = kernel
 
     def add(self, a: int, b: int) -> int:
         """Field addition (XOR)."""
@@ -201,39 +206,19 @@ class GF2n:
         step needs ``a << 1`` to fit in a uint64, hence ``n <= 63``."""
         return _np is not None and self.n <= 63
 
-    def _mul_batch(self, a, b):
-        """Element-wise field product of two uint64 arrays (Russian-peasant
-        with interleaved modular reduction, all operands stay < 2^n)."""
-        n = self.n
-        one = _np.uint64(1)
-        mask = _np.uint64((1 << n) - 1)
-        mod_low = _np.uint64(self.modulus & ((1 << n) - 1))
-        top = _np.uint64(n - 1) if n > 1 else _np.uint64(0)
-        res = _np.zeros_like(a)
-        a = a.copy()
-        b = b.copy()
-        for _ in range(int(b.max()).bit_length()):
-            res ^= a & ~((b & one) - one)
-            b >>= one
-            carry = ~(((a >> top) & one) - one) if n > 1 \
-                else ~((a & one) - one)
-            a = ((a << one) & mask) ^ (mod_low & carry)
-        return res
-
     def eval_poly_batch(self, coeffs: List[int], xs) -> "object":
         """Vectorised :meth:`eval_poly` over a numpy array of points --
-        the batched s-wise hash evaluation.  Falls back to the scalar
+        the batched s-wise hash evaluation, dispatched to the selected
+        compute kernel (:mod:`repro.kernels`).  Falls back to the scalar
         Horner loop without numpy or for ``n > 63``."""
         if not self._batchable():
             return [self.eval_poly(coeffs, int(x)) for x in xs]
         xs = _np.asarray(xs, dtype=_np.uint64)
         if not coeffs or xs.size == 0:
             return _np.zeros_like(xs)
-        acc = _np.full(xs.shape, coeffs[-1], dtype=_np.uint64)
-        for c in coeffs[-2::-1]:
-            acc = self._mul_batch(acc, xs)
-            acc ^= _np.uint64(c)
-        return acc
+        coeff_arr = _np.array(coeffs, dtype=_np.uint64)
+        return get_kernel(self.kernel).gf2_eval_poly_batch(
+            coeff_arr, xs, self.n, self.modulus)
 
     def __repr__(self) -> str:
         return f"GF2n(n={self.n}, modulus={self.modulus:#x})"

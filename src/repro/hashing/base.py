@@ -23,6 +23,7 @@ from typing import List, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.common.bitvec import trailing_zeros
 from repro.common.rng import RandomSource
+from repro.kernels import get_kernel
 
 try:
     import numpy as _np
@@ -123,12 +124,13 @@ class LinearHash:
     """
 
     __slots__ = ("in_bits", "out_bits", "rows", "offsets", "_seed_bits",
-                 "_pack")
+                 "_pack", "kernel")
 
     is_linear = True
 
     def __init__(self, in_bits: int, rows: Sequence[int],
-                 offsets: Sequence[int], seed_bits: int | None = None) -> None:
+                 offsets: Sequence[int], seed_bits: int | None = None,
+                 kernel: str | None = None) -> None:
         if len(rows) != len(offsets):
             raise ValueError("rows and offsets must have equal length")
         self.in_bits = in_bits
@@ -138,6 +140,9 @@ class LinearHash:
         self._seed_bits = (seed_bits if seed_bits is not None
                            else self.out_bits * (in_bits + 1))
         self._pack = None  # Lazily built numpy row/word layout cache.
+        #: Compute-kernel name for the batched paths (None follows the
+        #: registry's override / ``REPRO_KERNEL`` / default resolution).
+        self.kernel = kernel
 
     @property
     def seed_bits(self) -> int:
@@ -149,9 +154,10 @@ class LinearHash:
         # pool) small, and it is rebuilt lazily on first batch use.
         return {"in_bits": self.in_bits, "out_bits": self.out_bits,
                 "rows": self.rows, "offsets": self.offsets,
-                "_seed_bits": self._seed_bits}
+                "_seed_bits": self._seed_bits, "kernel": self.kernel}
 
     def __setstate__(self, state) -> None:
+        self.kernel = None  # Default for pickles from older layouts.
         for name, value in state.items():
             setattr(self, name, value)
         self._pack = None
@@ -225,13 +231,9 @@ class LinearHash:
             return [self.value(int(x)) for x in xs]
         xs = _np.asarray(xs, dtype=_np.uint64)
         pack = self._packed()
-        out = _np.zeros(xs.shape, dtype=_np.uint64)
-        rows, shifts = pack["rows"], pack["shifts"]
-        for r in range(self.out_bits):
-            out |= _parity_u64(xs & rows[r]) << shifts[r]
-        if pack["offset_words"][0]:
-            out ^= pack["offset_words"][0]  # h(x) = Ax ^ b, b folded once.
-        return out
+        return get_kernel(self.kernel).linear_values_batch(
+            xs, pack["rows"], pack["shifts"],
+            pack["offset_words"][0])  # h(x) = Ax ^ b, b folded once.
 
     def values_batch_words(self, xs) -> "object":
         """Vectorised :meth:`value` for arbitrary ``out_bits``: an
@@ -245,12 +247,9 @@ class LinearHash:
             return None
         xs = _np.asarray(xs, dtype=_np.uint64)
         pack = self._packed()
-        rows, shifts, cols = pack["rows"], pack["shifts"], pack["cols"]
-        out = _np.zeros((xs.shape[0], pack["words"]), dtype=_np.uint64)
-        for r in range(self.out_bits):
-            out[:, cols[r]] |= _parity_u64(xs & rows[r]) << shifts[r]
-        out ^= pack["offset_words"][_np.newaxis, :]
-        return out
+        return get_kernel(self.kernel).linear_values_batch_words(
+            xs, pack["rows"], pack["shifts"], pack["cols"],
+            pack["words"], pack["offset_words"])
 
     @staticmethod
     def words_to_int(word_row) -> int:
@@ -265,7 +264,8 @@ class LinearHash:
         """Vectorised :meth:`trail_zeros` (requires ``out_bits <= 64``)."""
         if not self._batchable() or self.out_bits > 64:
             return [self.trail_zeros(int(x)) for x in xs]
-        return trail_zeros_u64(self.values_batch(xs), self.out_bits)
+        return get_kernel(self.kernel).trail_zeros_batch(
+            self.values_batch(xs), self.out_bits)
 
     def cell_levels_batch(self, xs) -> "object":
         """Vectorised :meth:`cell_level`: per-element count of leading
@@ -276,12 +276,9 @@ class LinearHash:
         m = self.out_bits
         if m <= 64:
             # cell_level(v) == out_bits - bit_length(v): hash the chunk in
-            # one cached-layout sweep, then a SWAR bit-length (smear the
-            # top bit down, popcount).
-            v = _np.asarray(self.values_batch(xs), dtype=_np.uint64).copy()
-            for shift in (1, 2, 4, 8, 16, 32):
-                v |= v >> _np.uint64(shift)
-            return m - _popcount_u64(v).astype(_np.int64)
+            # one cached-layout sweep, then a per-element bit length.
+            return m - get_kernel(self.kernel).bit_length_batch(
+                self.values_batch(xs))
         pack = self._packed()
         rows = pack["rows"]
         levels = _np.full(xs.shape, m, dtype=_np.int64)
@@ -359,7 +356,7 @@ class LinearHash:
     def row_slice(self, m: int) -> "LinearHash":
         """The prefix-slice ``h_m`` as a standalone hash function."""
         return LinearHash(self.in_bits, self.rows[:m], self.offsets[:m],
-                          seed_bits=self._seed_bits)
+                          seed_bits=self._seed_bits, kernel=self.kernel)
 
     def __repr__(self) -> str:
         return (f"LinearHash(in_bits={self.in_bits}, "

@@ -18,7 +18,8 @@ from typing import List
 from repro.common.bitvec import trailing_zeros
 from repro.common.rng import RandomSource
 from repro.gf2.gf2n import GF2n
-from repro.hashing.base import HashFamily, trail_zeros_u64
+from repro.hashing.base import HashFamily, trail_zeros_u64  # noqa: F401
+from repro.kernels import get_kernel
 
 try:
     import numpy as _np
@@ -73,7 +74,8 @@ class KWiseHash:
         values = self.values_batch(xs)
         if _np is None or not isinstance(values, _np.ndarray):
             return [trailing_zeros(v, self.out_bits) for v in values]
-        return trail_zeros_u64(values, self.out_bits)
+        return get_kernel(self.field.kernel).trail_zeros_batch(
+            values, self.out_bits)
 
     def max_trail_zeros(self, xs) -> int:
         """``max TrailZero(h(x))`` over a chunk -- the Estimation row's
@@ -90,12 +92,13 @@ class KWiseHash:
 class KWiseHashFamily(HashFamily):
     """``H_{s-wise}(n, n)``: uniform degree-``s-1`` GF(2^n) polynomials."""
 
-    def __init__(self, in_bits: int, independence: int) -> None:
+    def __init__(self, in_bits: int, independence: int,
+                 kernel: str | None = None) -> None:
         super().__init__(in_bits, in_bits)
         if independence < 1:
             raise ValueError("independence must be >= 1")
         self.independence = independence
-        self._field = GF2n(in_bits)
+        self._field = GF2n(in_bits, kernel=kernel)
 
     @property
     def field(self) -> GF2n:

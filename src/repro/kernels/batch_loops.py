@@ -1,0 +1,132 @@
+"""Scalar per-element loops for the batched hashing hot paths.
+
+Single-source siblings of :mod:`repro.kernels.cdcl_loops`: each function
+below is written in the numba-compatible subset of python and computes
+exactly what the vectorised numpy paths of the ``python`` kernel compute
+-- GF(2^n) Horner evaluation (Russian-peasant multiply with interleaved
+reduction), packed-row affine hashing, trail-zeros and bit-length.  The
+``numba`` kernel njit-compiles them; the parity tests also run them
+*uncompiled* on small inputs, so the loop sources themselves are covered
+by tier-1 CI where numba is absent.
+
+All arrays are uint64 (int64 for count outputs); constants are
+``np.uint64`` so arithmetic stays in uint64 under both interpreters
+(mixed int64/uint64 expressions would promote to float64 in numba).
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+
+_ZERO = _np.uint64(0)
+_ONE = _np.uint64(1)
+
+
+def gf2_eval_poly(coeffs, xs, out, top, mask, mod_low):
+    """Horner-evaluate a GF(2^n) polynomial at each point of ``xs``.
+
+    ``coeffs`` is uint64, constant term first (at least one entry);
+    ``top``/``mask``/``mod_low`` are the uint64 reduction constants
+    ``n - 1`` (0 for n == 1), ``2**n - 1`` and the modulus without its
+    top bit.  Writes field elements into ``out``.
+    """
+    s = len(coeffs)
+    for i in range(len(xs)):
+        x = xs[i]
+        acc = coeffs[s - 1]
+        for c in range(s - 2, -1, -1):
+            # acc = acc * x (Russian peasant, reduced), then ^ coeff.
+            a = acc
+            b = x
+            res = _ZERO
+            while b != _ZERO:
+                if (b & _ONE) != _ZERO:
+                    res ^= a
+                b >>= _ONE
+                carry = (a >> top) & _ONE
+                a = (a << _ONE) & mask
+                if carry != _ZERO:
+                    a ^= mod_low
+            acc = res ^ coeffs[c]
+        out[i] = acc
+    return out
+
+
+def linear_values(xs, rows, shifts, offset0, out):
+    """Affine GF(2) hash values (``out_bits <= 64``) per element.
+
+    ``rows``/``shifts`` are the packed layout of
+    :meth:`repro.hashing.base.LinearHash._packed`; ``offset0`` is the
+    single-word packed offset vector.  Writes uint64 values into ``out``
+    (row 0 at the MSB of the ``out_bits``-wide value).
+    """
+    m = len(rows)
+    for i in range(len(xs)):
+        x = xs[i]
+        val = _ZERO
+        for r in range(m):
+            v = x & rows[r]
+            v ^= v >> _np.uint64(32)
+            v ^= v >> _np.uint64(16)
+            v ^= v >> _np.uint64(8)
+            v ^= v >> _np.uint64(4)
+            v ^= v >> _np.uint64(2)
+            v ^= v >> _np.uint64(1)
+            val |= (v & _ONE) << shifts[r]
+        out[i] = val ^ offset0
+    return out
+
+
+def linear_values_words(xs, rows, shifts, cols, offset_words, out):
+    """Affine hash values for arbitrary ``out_bits``: fills the
+    ``(N, W)`` uint64 array ``out`` most-significant word first, same
+    layout as :meth:`repro.hashing.base.LinearHash.values_batch_words`.
+    """
+    m = len(rows)
+    words = len(offset_words)
+    for i in range(len(xs)):
+        x = xs[i]
+        for w in range(words):
+            out[i, w] = _ZERO
+        for r in range(m):
+            v = x & rows[r]
+            v ^= v >> _np.uint64(32)
+            v ^= v >> _np.uint64(16)
+            v ^= v >> _np.uint64(8)
+            v ^= v >> _np.uint64(4)
+            v ^= v >> _np.uint64(2)
+            v ^= v >> _np.uint64(1)
+            out[i, cols[r]] |= (v & _ONE) << shifts[r]
+        for w in range(words):
+            out[i, w] ^= offset_words[w]
+    return out
+
+
+def trail_zeros(values, out_bits, out):
+    """Per-element ``TrailZero``: trailing zero bits of each uint64
+    value, ``out_bits`` for a zero value.  Writes int64 counts."""
+    for i in range(len(values)):
+        v = values[i]
+        if v == _ZERO:
+            out[i] = out_bits
+        else:
+            count = 0
+            while (v & _ONE) == _ZERO:
+                v >>= _ONE
+                count += 1
+            out[i] = count
+    return out
+
+
+def bit_length(values, out):
+    """Per-element bit length of each uint64 value (0 for 0); the
+    ``cell_level`` building block (``level = out_bits - bit_length``).
+    Writes int64 lengths."""
+    for i in range(len(values)):
+        v = values[i]
+        count = 0
+        while v != _ZERO:
+            v >>= _ONE
+            count += 1
+        out[i] = count
+    return out

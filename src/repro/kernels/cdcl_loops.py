@@ -1,0 +1,244 @@
+"""The CDCL propagation inner loop over flat arrays, written once.
+
+This module is the single source of truth for two-watched-literal clause
+propagation plus watched-variable XOR propagation.  The same function
+body runs two ways:
+
+* the ``python`` kernel calls it on zero-copy ``memoryview``s over the
+  :class:`repro.kernels.state.SolverState` numpy arrays (plain-int
+  element access, no numpy scalar overhead);
+* the ``numba`` kernel calls ``numba.njit(cache=True)(propagate)`` on the
+  numpy arrays directly.
+
+The function is therefore written in the numba-compatible subset of
+python: flat-array indexing, integer arithmetic, ``while``/``for``/
+``if`` -- no objects, lists, dicts, or exceptions.
+
+Array-layout contract (see DESIGN.md, "Kernel registry"): literals are
+the solver's internal encoding (variable ``v`` true = ``2*v``, false =
+``2*v + 1``); ``assigns`` holds -1/0/1 per variable; watch lists live in
+a shared arena (``watch_pool`` + per-literal ``start``/``len``/``cap``)
+whose lists relocate-and-double in place.  Arena relocation and pool
+exhaustion are *semantically invisible*: before mutating anything at an
+append site the loop checks for room, and on exhaustion it parks its
+exact position in ``regs`` (``R_PHASE``/``R_WIDX``/``R_XENQ``) and
+returns a ``RESIZE_*`` sentinel; the caller grows the pool and re-enters,
+and the loop resumes mid-watch-list as if nothing happened.  Propagation
+order -- and therefore every golden-pinned estimate -- is identical
+regardless of pool sizing.
+
+Return protocol: ``NO_CONFLICT``; a clause index ``>= 0`` (conflicting
+clause, all literals false); ``-row - 2`` for a conflicting XOR row; or
+a ``RESIZE_*`` sentinel (resume after growing the named pool).
+"""
+
+# Register indices into the int64 ``regs`` array.
+R_TRAIL_LEN = 0   # Number of literals on the trail.
+R_QHEAD = 1       # Clause-propagation cursor into the trail.
+R_XQHEAD = 2      # XOR-propagation cursor into the trail.
+R_DLEVEL = 3      # Current decision level (for in-kernel enqueues).
+R_PROPS = 4       # Propagation pops since last drained by the wrapper.
+R_WUSED = 5       # Clause-watch arena high-water mark.
+R_XWUSED = 6      # XOR-watcher arena high-water mark.
+R_PHASE = 7       # Resume phase: 0 none, 1 clause inner, 2 XOR inner.
+R_WIDX = 8        # Saved inner watch-list index for a resume.
+R_XENQ = 9        # Saved XOR 'enqueued' flag for a resume.
+NUM_REGS = 10
+
+#: ``propagate`` return sentinels.  XOR conflict rows are ``-row - 2``,
+#: so the resize sentinels sit far below any realistic row count.
+NO_CONFLICT = -1
+RESIZE_WATCH = -1000000000
+RESIZE_XWATCH = -1000000001
+
+#: ``reason`` array codes: ``-1`` none, ``>= 0`` clause index,
+#: ``-row - 2`` an XOR row (same encoding as conflict returns).
+REASON_NONE = -1
+
+
+def propagate(regs, assigns, level, reason, trail,
+              clause_lits, clause_start, clause_len,
+              watch_pool, watch_start, watch_len, watch_cap,
+              xor_vars, xor_start, xor_len, xor_rhs, xor_w0, xor_w1,
+              xwatch_pool, xwatch_start, xwatch_len, xwatch_cap):
+    """Run clause and XOR propagation to fixpoint over flat arrays.
+
+    Returns a conflict/resize code per the module docstring.  Mutates
+    ``assigns``/``level``/``reason``/``trail``/``regs`` and the watch
+    structures exactly as the historical object-based loop did.
+    """
+    phase = int(regs[R_PHASE])
+    regs[R_PHASE] = 0
+    enqueued = False
+    if phase == 2:
+        enqueued = regs[R_XENQ] != 0
+
+    while True:
+        if phase != 2:
+            # ---- clause propagation to fixpoint --------------------
+            while True:
+                if phase == 1:
+                    p = int(trail[regs[R_QHEAD] - 1])
+                    i = int(regs[R_WIDX])
+                    phase = 0
+                else:
+                    if regs[R_QHEAD] >= regs[R_TRAIL_LEN]:
+                        break
+                    p = int(trail[regs[R_QHEAD]])
+                    regs[R_QHEAD] += 1
+                    regs[R_PROPS] += 1
+                    i = 0
+                false_lit = p ^ 1
+                while i < watch_len[false_lit]:
+                    ci = int(watch_pool[watch_start[false_lit] + i])
+                    cs = int(clause_start[ci])
+                    cl = int(clause_len[ci])
+                    # Normalise: watched false literal at position 1.
+                    if clause_lits[cs] == false_lit:
+                        clause_lits[cs] = clause_lits[cs + 1]
+                        clause_lits[cs + 1] = false_lit
+                    first = int(clause_lits[cs])
+                    fa = int(assigns[first >> 1])
+                    if fa >= 0 and (fa ^ (first & 1)) == 1:
+                        i += 1
+                        continue
+                    # Search for a replacement watch.
+                    replaced = False
+                    j = 2
+                    while j < cl:
+                        lj = int(clause_lits[cs + j])
+                        aj = int(assigns[lj >> 1])
+                        if aj < 0 or (aj ^ (lj & 1)) != 0:
+                            # Ensure room in lj's list BEFORE mutating
+                            # anything, so a pool-exhausted resume
+                            # replays this step identically.
+                            wl = int(watch_len[lj])
+                            if wl >= watch_cap[lj]:
+                                newcap = int(watch_cap[lj]) * 2
+                                if newcap < 4:
+                                    newcap = 4
+                                if regs[R_WUSED] + newcap > len(watch_pool):
+                                    regs[R_PHASE] = 1
+                                    regs[R_WIDX] = i
+                                    return RESIZE_WATCH
+                                ns = int(regs[R_WUSED])
+                                for k in range(wl):
+                                    watch_pool[ns + k] = \
+                                        watch_pool[watch_start[lj] + k]
+                                watch_start[lj] = ns
+                                watch_cap[lj] = newcap
+                                regs[R_WUSED] = ns + newcap
+                            clause_lits[cs + 1] = lj
+                            clause_lits[cs + j] = false_lit
+                            watch_pool[watch_start[lj] + wl] = ci
+                            watch_len[lj] = wl + 1
+                            last = int(watch_len[false_lit]) - 1
+                            watch_pool[watch_start[false_lit] + i] = \
+                                watch_pool[watch_start[false_lit] + last]
+                            watch_len[false_lit] = last
+                            replaced = True
+                            break
+                        j += 1
+                    if replaced:
+                        continue
+                    if fa >= 0 and (fa ^ (first & 1)) == 0:
+                        return ci  # Conflict: all literals false.
+                    # Unit: enqueue first with this clause as reason.
+                    v = first >> 1
+                    assigns[v] = 1 ^ (first & 1)
+                    level[v] = regs[R_DLEVEL]
+                    reason[v] = ci
+                    trail[regs[R_TRAIL_LEN]] = first
+                    regs[R_TRAIL_LEN] += 1
+                    i += 1
+
+        # ---- watched-variable XOR propagation ----------------------
+        while True:
+            if phase == 2:
+                v = int(trail[regs[R_XQHEAD] - 1]) >> 1
+                i = int(regs[R_WIDX])
+                phase = 0
+            else:
+                if regs[R_XQHEAD] >= regs[R_TRAIL_LEN]:
+                    break
+                v = int(trail[regs[R_XQHEAD]]) >> 1
+                regs[R_XQHEAD] += 1
+                i = 0
+            while i < xwatch_len[v]:
+                row = int(xwatch_pool[xwatch_start[v] + i])
+                w0 = int(xor_w0[row])
+                w1 = int(xor_w1[row])
+                other = w1 if w0 == v else w0
+                rs = int(xor_start[row])
+                rl = int(xor_len[row])
+                # Move the watch to an unassigned replacement variable.
+                replaced = False
+                for k in range(rl):
+                    u = int(xor_vars[rs + k])
+                    if u != other and assigns[u] < 0:
+                        xl = int(xwatch_len[u])
+                        if xl >= xwatch_cap[u]:
+                            newcap = int(xwatch_cap[u]) * 2
+                            if newcap < 4:
+                                newcap = 4
+                            if regs[R_XWUSED] + newcap > len(xwatch_pool):
+                                regs[R_PHASE] = 2
+                                regs[R_WIDX] = i
+                                regs[R_XENQ] = 1 if enqueued else 0
+                                return RESIZE_XWATCH
+                            ns = int(regs[R_XWUSED])
+                            for t in range(xl):
+                                xwatch_pool[ns + t] = \
+                                    xwatch_pool[xwatch_start[u] + t]
+                            xwatch_start[u] = ns
+                            xwatch_cap[u] = newcap
+                            regs[R_XWUSED] = ns + newcap
+                        xor_w0[row] = u
+                        xor_w1[row] = other
+                        xwatch_pool[xwatch_start[u] + xl] = row
+                        xwatch_len[u] = xl + 1
+                        last = int(xwatch_len[v]) - 1
+                        xwatch_pool[xwatch_start[v] + i] = \
+                            xwatch_pool[xwatch_start[v] + last]
+                        xwatch_len[v] = last
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                # No replacement: the row has <= 1 unassigned variable
+                # (or a watcher raced ahead); evaluate it.
+                parity = 0
+                unassigned_var = -1
+                not_unit = False
+                for k in range(rl):
+                    u = int(xor_vars[rs + k])
+                    a = int(assigns[u])
+                    if a < 0:
+                        if unassigned_var >= 0:
+                            not_unit = True  # Raced ahead; row not unit.
+                            break
+                        unassigned_var = u
+                    else:
+                        parity ^= a
+                if not not_unit:
+                    if unassigned_var < 0:
+                        if parity != xor_rhs[row]:
+                            # Rewind so this variable's remaining
+                            # watchers are re-examined after the
+                            # conflict is resolved.
+                            regs[R_XQHEAD] -= 1
+                            return -row - 2
+                    else:
+                        ib = parity ^ int(xor_rhs[row])
+                        lit = 2 * unassigned_var + (0 if ib == 1 else 1)
+                        assigns[unassigned_var] = ib
+                        level[unassigned_var] = regs[R_DLEVEL]
+                        reason[unassigned_var] = -row - 2
+                        trail[regs[R_TRAIL_LEN]] = lit
+                        regs[R_TRAIL_LEN] += 1
+                enqueued = True
+                i += 1
+
+        if not enqueued:
+            return NO_CONFLICT
+        enqueued = False

@@ -1,0 +1,89 @@
+"""The ``numba`` kernel: the shared loop sources, njit-compiled.
+
+Imports numba lazily (inside the class constructor), so this module is
+importable on containers without numba; the registry entry in
+:mod:`repro.kernels` is marked unavailable there and :func:`get_kernel`
+never reaches this factory.  Compilation uses ``cache=True`` so the
+machine code persists to disk next to the loop sources -- the warm-up
+cost is paid once per environment, not once per process.
+
+The compiled functions are *the same source* the ``python`` kernel
+executes (:mod:`repro.kernels.cdcl_loops`,
+:mod:`repro.kernels.batch_loops`), which is what makes bit-identical
+behaviour a structural property rather than a testing aspiration.
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+
+from repro.kernels import batch_loops, cdcl_loops
+from repro.kernels.cdcl_loops import RESIZE_WATCH, RESIZE_XWATCH
+
+
+class NumbaKernel:
+    """njit-compiled implementations of both hot loops."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        import numba
+
+        jit = numba.njit(cache=True, fastmath=False)
+        self._propagate = jit(cdcl_loops.propagate)
+        self._gf2_eval_poly = jit(batch_loops.gf2_eval_poly)
+        self._linear_values = jit(batch_loops.linear_values)
+        self._linear_values_words = jit(batch_loops.linear_values_words)
+        self._trail_zeros = jit(batch_loops.trail_zeros)
+        self._bit_length = jit(batch_loops.bit_length)
+
+    # -- CDCL ------------------------------------------------------------
+
+    def propagate(self, state) -> int:
+        """Run propagation to fixpoint on ``state`` (numpy arrays feed
+        the compiled loop directly); grows arenas on ``RESIZE_*`` and
+        re-enters, same as the ``python`` kernel."""
+        while True:
+            code = int(self._propagate(*state.prop_args_np()))
+            if code == RESIZE_WATCH:
+                state.grow_watch_pool()
+                continue
+            if code == RESIZE_XWATCH:
+                state.grow_xwatch_pool()
+                continue
+            return code
+
+    # -- batched hashing -------------------------------------------------
+
+    def gf2_eval_poly_batch(self, coeffs, xs, n: int, modulus: int):
+        """Compiled GF(2^n) Horner sweep (``n <= 63``)."""
+        out = _np.empty_like(xs)
+        top = _np.uint64(n - 1 if n > 1 else 0)
+        mask = _np.uint64((1 << n) - 1)
+        mod_low = _np.uint64(modulus & ((1 << n) - 1))
+        return self._gf2_eval_poly(coeffs, xs, out, top, mask, mod_low)
+
+    def linear_values_batch(self, xs, rows, shifts, offset0):
+        """Compiled single-word affine hash sweep."""
+        out = _np.empty(xs.shape, dtype=_np.uint64)
+        return self._linear_values(xs, rows, shifts,
+                                   _np.uint64(offset0), out)
+
+    def linear_values_batch_words(self, xs, rows, shifts, cols, words,
+                                  offset_words):
+        """Compiled multi-word affine hash sweep (MSW first)."""
+        out = _np.empty((xs.shape[0], words), dtype=_np.uint64)
+        return self._linear_values_words(xs, rows, shifts, cols,
+                                         offset_words, out)
+
+    def trail_zeros_batch(self, values, out_bits: int):
+        """Compiled per-element ``TrailZero``."""
+        values = _np.asarray(values, dtype=_np.uint64)
+        out = _np.empty(values.shape, dtype=_np.int64)
+        return self._trail_zeros(values, out_bits, out)
+
+    def bit_length_batch(self, values):
+        """Compiled per-element bit length."""
+        values = _np.asarray(values, dtype=_np.uint64)
+        out = _np.empty(values.shape, dtype=_np.int64)
+        return self._bit_length(values, out)

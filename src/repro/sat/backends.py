@@ -82,8 +82,10 @@ class SolverBackend(Protocol):
 
 
 #: A backend factory: formula + fixed XOR side constraints -> solver.
-BackendFactory = Callable[[CnfFormula, Iterable[XorConstraint]],
-                          SolverBackend]
+#: Factories also accept a ``kernel`` keyword naming the compute kernel
+#: (:mod:`repro.kernels`) for the propagation inner loop; backends whose
+#: hot loop is not kernelised (bruteforce, pysat) accept and ignore it.
+BackendFactory = Callable[..., SolverBackend]
 
 
 @dataclass(frozen=True)
@@ -135,19 +137,22 @@ def has_backend(name: str) -> bool:
 
 
 def create_solver(name: Optional[str], formula: CnfFormula,
-                  xors: Iterable[XorConstraint] = ()) -> SolverBackend:
+                  xors: Iterable[XorConstraint] = (),
+                  kernel: Optional[str] = None) -> SolverBackend:
     """Instantiate the named backend (``None`` -> the default) for a
-    formula plus fixed XOR side constraints."""
-    return backend_info(name or DEFAULT_BACKEND).factory(formula, xors)
+    formula plus fixed XOR side constraints.  ``kernel`` selects the
+    compute kernel for backends that propagate through one."""
+    return backend_info(name or DEFAULT_BACKEND).factory(
+        formula, xors, kernel=kernel)
 
 
 # ----------------------------------------------------------------------
 # cdcl: the in-tree solver (already speaks the protocol natively)
 # ----------------------------------------------------------------------
 
-def _make_cdcl(formula: CnfFormula,
-               xors: Iterable[XorConstraint] = ()) -> CdclSolver:
-    return CdclSolver.from_cnf(formula, xors)
+def _make_cdcl(formula: CnfFormula, xors: Iterable[XorConstraint] = (),
+               kernel: Optional[str] = None) -> CdclSolver:
+    return CdclSolver.from_cnf(formula, xors, kernel=kernel)
 
 
 # ----------------------------------------------------------------------
@@ -186,8 +191,10 @@ class BruteForceSolver:
         self.ok = True
 
     @classmethod
-    def from_cnf(cls, cnf: CnfFormula,
-                 xors: Iterable[XorConstraint] = ()) -> "BruteForceSolver":
+    def from_cnf(cls, cnf: CnfFormula, xors: Iterable[XorConstraint] = (),
+                 kernel: Optional[str] = None) -> "BruteForceSolver":
+        # ``kernel`` is accepted for factory-signature uniformity; the
+        # exhaustive scan has no kernelised inner loop.
         solver = cls(cnf.num_vars)
         for clause in cnf.clauses:
             solver.add_clause(clause)
@@ -358,8 +365,10 @@ class PySatSolver:
         self.ok = True
 
     @classmethod
-    def from_cnf(cls, cnf: CnfFormula,
-                 xors: Iterable[XorConstraint] = ()) -> "PySatSolver":
+    def from_cnf(cls, cnf: CnfFormula, xors: Iterable[XorConstraint] = (),
+                 kernel: Optional[str] = None) -> "PySatSolver":
+        # ``kernel`` is accepted for factory-signature uniformity; the
+        # compiled pysat engines bring their own inner loops.
         solver = cls(cnf.num_vars)
         for clause in cnf.clauses:
             solver.add_clause(clause)

@@ -14,6 +14,21 @@ algorithms need and extended with a parity engine:
   CNF (the "native XOR support" the paper highlights as essential to
   practical ApproxMC).
 
+The propagation inner loop -- where solve time is actually spent -- runs
+through a pluggable compute kernel (:mod:`repro.kernels`): solver state
+lives in the preallocated flat numpy arrays of
+:class:`repro.kernels.state.SolverState` (CSR-style clause pool, arena
+watch lists, int64 register file), and :meth:`_propagate` hands those
+arrays to the selected kernel (``python`` memoryview loop by default,
+njit-compiled when ``kernel="numba"`` is selected and numba is
+installed).  Everything outside the hot loop -- conflict analysis,
+activities, restarts, the learnt database -- stays in ordinary python,
+reading the same arrays.  Conflicts and reasons cross the boundary as
+integer codes (``>= 0`` a clause index, ``-row - 2`` an XOR row,
+``-1`` none); reason *clauses* are materialised lazily from the codes
+during conflict analysis, which is safe because a reason's literals are
+all still assigned, unchanged, whenever the reason is inspected.
+
 Literals cross the public API in DIMACS convention (positive/negative
 integers); internally literal ``2*(v-1)`` is "variable v true" and
 ``2*(v-1)+1`` is "variable v false".
@@ -21,12 +36,22 @@ integers); internally literal ``2*(v-1)`` is "variable v true" and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import InvalidParameterError
 from repro.formulas.cnf import CnfFormula
 from repro.formulas.xor_constraint import XorConstraint
+from repro.kernels import get_kernel, resolve_kernel_name
+from repro.kernels.cdcl_loops import (
+    NO_CONFLICT,
+    R_DLEVEL,
+    R_QHEAD,
+    R_TRAIL_LEN,
+    R_XQHEAD,
+    REASON_NONE,
+)
+from repro.kernels.state import SolverState
 
 _UNASSIGNED = -1
 
@@ -82,39 +107,21 @@ class CdclSolver:
     LEARNT_BASE = 400
     LEARNT_GROWTH = 1.2
 
-    def __init__(self, num_vars: int = 0) -> None:
+    def __init__(self, num_vars: int = 0,
+                 kernel: Optional[str] = None) -> None:
+        #: The resolved kernel name this solver propagates with.
+        self.kernel_name = resolve_kernel_name(kernel)
+        self._kernel = get_kernel(self.kernel_name)
+        self._state = SolverState()
         self.num_vars = 0
         self.ok = True
-        # Per-variable state (index 0 .. num_vars-1).
-        self._assigns: List[int] = []
-        self._level: List[int] = []
-        self._reason: List[Optional[List[int]]] = []
         self._activity: List[float] = []
-        self._saved_phase: List[int] = []
-        # Per-literal state (index 0 .. 2*num_vars-1).
-        self._watches: List[List[List[int]]] = []
-        # Clause database: lists of internal literals.
-        self._clauses: List[List[int]] = []
-        # XOR rows: (mask over 0-indexed vars, rhs bit).
-        self._xors: List[Tuple[int, int]] = []
-        # 2-watched-variable XOR propagation: per-row variable lists, the
-        # two watched variables per row, per-variable watcher lists, and
-        # the trail position up to which watchers have been notified.  A
-        # row only needs re-evaluation when a *watched* variable is
-        # assigned and no unassigned replacement exists -- the same lazy
-        # invariant as clause watching, applied to parity rows.
-        self._xor_vars: List[List[int]] = []
-        self._xor_watch: List[List[int]] = []
-        self._xor_watchers: List[List[int]] = []
-        self._xor_qhead = 0
-        self._trail: List[int] = []
         self._trail_lim: List[int] = []
-        self._qhead = 0
         self._var_inc = 1.0
         self._assumed: List[int] = []
-        # Learned-clause database: the clauses themselves (also present in
-        # _clauses for watching) plus per-clause activities keyed by id().
-        self._learnts: List[List[int]] = []
+        # Learned-clause database: clause indices in insertion order plus
+        # per-clause activities keyed by clause index.
+        self._learnts: List[int] = []
         self._learnt_activity: Dict[int, float] = {}
         self._cla_inc = 1.0
         self._max_learnts = self.LEARNT_BASE
@@ -127,10 +134,10 @@ class CdclSolver:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_cnf(cls, cnf: CnfFormula,
-                 xors: Iterable[XorConstraint] = ()) -> "CdclSolver":
+    def from_cnf(cls, cnf: CnfFormula, xors: Iterable[XorConstraint] = (),
+                 kernel: Optional[str] = None) -> "CdclSolver":
         """Build a solver loaded with a CNF formula and XOR constraints."""
-        solver = cls(cnf.num_vars)
+        solver = cls(cnf.num_vars, kernel=kernel)
         for clause in cnf.clauses:
             solver.add_clause(clause)
         for xc in xors:
@@ -140,14 +147,8 @@ class CdclSolver:
     def new_var(self) -> int:
         """Add a fresh variable; returns its 1-indexed number."""
         self.num_vars += 1
-        self._assigns.append(_UNASSIGNED)
-        self._level.append(0)
-        self._reason.append(None)
+        self._state.ensure_vars(self.num_vars)
         self._activity.append(0.0)
-        self._saved_phase.append(0)
-        self._watches.append([])
-        self._watches.append([])
-        self._xor_watchers.append([])
         return self.num_vars
 
     def ensure_vars(self, num_vars: int) -> None:
@@ -189,15 +190,14 @@ class CdclSolver:
             self.ok = False
             return False
         if len(filtered) == 1:
-            self._enqueue(filtered[0], None)
+            self._enqueue(filtered[0], REASON_NONE)
             if self._propagate() is not None:
                 self.ok = False
                 return False
             return True
-        clause = filtered
-        self._clauses.append(clause)
-        self._watches[clause[0]].append(clause)
-        self._watches[clause[1]].append(clause)
+        ci = self._state.add_clause_lits(filtered)
+        self._state.watch_add(filtered[0], ci)
+        self._state.watch_add(filtered[1], ci)
         return True
 
     def add_xor(self, mask: int, rhs: int) -> bool:
@@ -212,26 +212,29 @@ class CdclSolver:
                 return False
             return True
         self.ensure_vars(mask.bit_length())
-        idx = len(self._xors)
         variables = []
         m = mask
         while m:
             variables.append((m & -m).bit_length() - 1)
             m &= m - 1
-        self._xors.append((mask, rhs))
-        self._xor_vars.append(variables)
-        unassigned = [v for v in variables
-                      if self._assigns[v] == _UNASSIGNED]
-        assigned = [v for v in variables
-                    if self._assigns[v] != _UNASSIGNED]
+        row = self._state.add_xor_row(variables, rhs)
+        assigns = self._state.mv_assigns
+        unassigned = [v for v in variables if assigns[v] == _UNASSIGNED]
+        assigned = [v for v in variables if assigns[v] != _UNASSIGNED]
         watch = (unassigned + assigned)[:2]
-        self._xor_watch.append(watch)
+        # A row only needs re-evaluation when a *watched* variable is
+        # assigned and no unassigned replacement exists -- the same lazy
+        # invariant as clause watching, applied to parity rows.  Rows
+        # with < 2 variables are never registered: they are evaluated
+        # outright below.
         if len(watch) == 2:
-            self._xor_watchers[watch[0]].append(idx)
-            self._xor_watchers[watch[1]].append(idx)
+            self._state.xor_w0[row] = watch[0]
+            self._state.xor_w1[row] = watch[1]
+            self._state.xwatch_add(watch[0], row)
+            self._state.xwatch_add(watch[1], row)
         if len(unassigned) <= 1:
             # Determined (or unit) already at root: evaluate right away.
-            if self._eval_xor_row(idx) is not None \
+            if self._eval_xor_row(row) is not None \
                     or self._propagate() is not None:
                 self.ok = False
                 return False
@@ -295,7 +298,7 @@ class CdclSolver:
         clause = [lit ^ 1 for lit in decisions]
         if len(clause) == 1:
             self._backtrack_to(0)
-            self._enqueue(clause[0], None)
+            self._enqueue(clause[0], REASON_NONE)
             if self._propagate() is not None:
                 self.ok = False
                 return False
@@ -303,12 +306,13 @@ class CdclSolver:
         # Order by decision level, deepest first: backtracking to the
         # second-deepest level leaves exactly clause[0] unassigned, so the
         # new clause is unit and redirects the search.
-        clause.sort(key=lambda lit: self._level[lit >> 1], reverse=True)
-        self._clauses.append(clause)
-        self._watches[clause[0]].append(clause)
-        self._watches[clause[1]].append(clause)
-        self._backtrack_to(self._level[clause[1] >> 1])
-        self._enqueue(clause[0], clause)
+        level = self._state.mv_level
+        clause.sort(key=lambda lit: level[lit >> 1], reverse=True)
+        ci = self._state.add_clause_lits(clause)
+        self._state.watch_add(clause[0], ci)
+        self._state.watch_add(clause[1], ci)
+        self._backtrack_to(level[clause[1] >> 1])
+        self._enqueue(clause[0], ci)
         return self._search()
 
     def _search(self) -> bool:
@@ -347,7 +351,7 @@ class CdclSolver:
                 p = assumed[self._decision_level()]
                 value = self._lit_value(p)
                 if value == 1:
-                    self._trail_lim.append(len(self._trail))  # Dummy level.
+                    self._new_level()  # Dummy level.
                 elif value == 0:
                     return False  # Conflicting assumption.
                 else:
@@ -358,35 +362,38 @@ class CdclSolver:
                 if next_lit is None:
                     return True  # All variables assigned: model found.
                 self.stats.decisions += 1
-            self._trail_lim.append(len(self._trail))
-            self._enqueue(next_lit, None)
+            self._new_level()
+            self._enqueue(next_lit, REASON_NONE)
 
     def model_int(self) -> int:
         """The satisfying assignment as an integer (bit ``v-1`` = var ``v``).
 
         Only meaningful directly after :meth:`solve` returned True.
         """
+        assigns = self._state.mv_assigns
         out = 0
         for v in range(self.num_vars):
-            if self._assigns[v] == 1:
+            if assigns[v] == 1:
                 out |= 1 << v
         return out
 
     def value_of(self, var: int) -> Optional[bool]:
         """Current value of a variable (None if unassigned)."""
-        a = self._assigns[var - 1]
+        a = self._state.mv_assigns[var - 1]
         return None if a == _UNASSIGNED else bool(a)
 
     def _decision_internal_lits(self) -> List[int]:
         """Internal literals of the current decisions (assumptions
         included), deduplicated -- dummy levels for already-satisfied
         assumptions repeat the following decision."""
+        trail = self._state.mv_trail
+        trail_len = int(self._state.regs[R_TRAIL_LEN])
         out = []
         seen = set()
         for boundary in self._trail_lim:
-            if boundary >= len(self._trail):
+            if boundary >= trail_len:
                 break
-            lit = self._trail[boundary]
+            lit = trail[boundary]
             if lit not in seen:
                 seen.add(lit)
                 out.append(lit)
@@ -410,199 +417,142 @@ class CdclSolver:
     def _decision_level(self) -> int:
         return len(self._trail_lim)
 
+    def _new_level(self) -> None:
+        """Open a decision level (keeps the kernel's level register in
+        sync for in-kernel enqueues)."""
+        st = self._state
+        self._trail_lim.append(int(st.regs[R_TRAIL_LEN]))
+        st.regs[R_DLEVEL] = len(self._trail_lim)
+
     def _lit_value(self, lit: int) -> int:
         """1 true, 0 false, -1 unassigned."""
-        a = self._assigns[lit >> 1]
+        a = self._state.mv_assigns[lit >> 1]
         if a == _UNASSIGNED:
             return _UNASSIGNED
         return a ^ (lit & 1)
 
-    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> None:
+    def _enqueue(self, lit: int, reason_code: int) -> None:
+        st = self._state
         v = lit >> 1
-        self._assigns[v] = 1 ^ (lit & 1)
-        self._level[v] = self._decision_level()
-        self._reason[v] = reason
-        self._trail.append(lit)
+        st.mv_assigns[v] = 1 ^ (lit & 1)
+        st.mv_level[v] = len(self._trail_lim)
+        st.mv_reason[v] = reason_code
+        st.mv_trail[int(st.regs[R_TRAIL_LEN])] = lit
+        st.regs[R_TRAIL_LEN] += 1
 
-    def _propagate(self) -> Optional[List[int]]:
-        """Run clause and XOR propagation to fixpoint.
+    def _propagate(self) -> Optional[int]:
+        """Run clause and XOR propagation to fixpoint via the kernel.
 
-        Returns a conflict clause (all literals false) or None.
+        Returns a conflict code (clause index, or ``-row - 2`` for an XOR
+        row whose literals are all false) or None.
         """
-        while True:
-            conflict = self._propagate_clauses()
-            if conflict is not None:
-                return conflict
-            implied = self._propagate_xors()
-            if implied is None:
-                return None  # Fixpoint, no conflict.
-            if isinstance(implied, list):
-                return implied  # XOR conflict clause.
-            # implied is True: an XOR enqueued something; loop again.
+        code = self._kernel.propagate(self._state)
+        self.stats.propagations += self._state.take_props()
+        return None if code == NO_CONFLICT else code
 
-    def _propagate_clauses(self) -> Optional[List[int]]:
-        while self._qhead < len(self._trail):
-            p = self._trail[self._qhead]
-            self._qhead += 1
-            self.stats.propagations += 1
-            false_lit = p ^ 1
-            watch_list = self._watches[false_lit]
-            i = 0
-            while i < len(watch_list):
-                clause = watch_list[i]
-                # Normalise: watched false literal at position 1.
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self._lit_value(first) == 1:
-                    i += 1
-                    continue
-                # Search for a replacement watch.
-                replaced = False
-                for j in range(2, len(clause)):
-                    if self._lit_value(clause[j]) != 0:
-                        clause[1], clause[j] = clause[j], clause[1]
-                        self._watches[clause[1]].append(clause)
-                        watch_list[i] = watch_list[-1]
-                        watch_list.pop()
-                        replaced = True
-                        break
-                if replaced:
-                    continue
-                if self._lit_value(first) == 0:
-                    return clause  # Conflict.
-                self._enqueue(first, clause)
-                i += 1
-        return None
+    def _eval_xor_row(self, row: int) -> Optional[int]:
+        """Evaluate one parity row known to have <= 1 unassigned variable
+        (the root-level entry point used by :meth:`add_xor`; during search
+        the kernel performs this evaluation in-loop).
 
-    def _eval_xor_row(self, idx: int):
-        """Evaluate one parity row known to have <= 1 unassigned variable.
-
-        Returns a conflict clause, or None after enqueueing the implied
+        Returns a conflict code, or None after enqueueing the implied
         literal (unit case) / verifying the row (determined case).
         """
-        assigns = self._assigns
+        st = self._state
+        assigns = st.mv_assigns
         parity = 0
         unassigned_var = -1
-        for v in self._xor_vars[idx]:
-            a = assigns[v]
+        for u in st.xor_var_list(row):
+            a = assigns[u]
             if a == _UNASSIGNED:
                 if unassigned_var >= 0:
                     return None  # A watcher raced ahead; row not unit.
-                unassigned_var = v
+                unassigned_var = u
             else:
                 parity ^= a
-        mask, rhs = self._xors[idx]
+        rhs = int(st.xor_rhs[row])
         if unassigned_var < 0:
             if parity != rhs:
-                return self._xor_clause(mask, exclude=-1)
+                return -row - 2
             return None
         implied_value = parity ^ rhs
         lit = 2 * unassigned_var + (0 if implied_value else 1)
-        reason = self._xor_clause(mask, exclude=unassigned_var)
-        reason.insert(0, lit)
-        self._enqueue(lit, reason)
+        self._enqueue(lit, -row - 2)
         return None
 
-    def _propagate_xors(self):
-        """Watched-variable parity propagation.
+    def _code_lits(self, code: int,
+                   implied_var: Optional[int] = None) -> List[int]:
+        """Materialise the literals behind a conflict/reason code.
 
-        Returns None (no new implications), True (enqueued at least one
-        implication; run clause propagation next) or a conflict clause.
-        Each row watches two of its variables; when a watched variable is
-        assigned, the watch moves to an unassigned replacement if one
-        exists, otherwise the row has become unit or determined and is
-        evaluated (lazily materialising the reason clause -- the
-        native-XOR trick that avoids CNF expansion).  Watches are not
-        restored on backtracking; the invariant "both watches unassigned
-        or the row was evaluated" survives because unassignment only
-        relaxes rows.
+        Clause codes read the pool slice (position 0 holds the implied
+        literal while the clause is locked as a reason).  XOR codes
+        rebuild the lazily-materialised reason clause -- the implied
+        literal first, then the currently-false literals of the row's
+        other variables in ascending variable order; every one of those
+        variables is still assigned exactly as it was at implication
+        time, so this equals the clause an eager implementation would
+        have stored.
         """
-        enqueued = False
-        assigns = self._assigns
-        while self._xor_qhead < len(self._trail):
-            v = self._trail[self._xor_qhead] >> 1
-            self._xor_qhead += 1
-            watchers = self._xor_watchers[v]
-            i = 0
-            while i < len(watchers):
-                idx = watchers[i]
-                watch = self._xor_watch[idx]
-                other = watch[1] if watch[0] == v else watch[0]
-                replaced = False
-                for u in self._xor_vars[idx]:
-                    if u != other and assigns[u] == _UNASSIGNED:
-                        watch[0] = u
-                        watch[1] = other
-                        self._xor_watchers[u].append(idx)
-                        watchers[i] = watchers[-1]
-                        watchers.pop()
-                        replaced = True
-                        break
-                if replaced:
-                    continue
-                conflict = self._eval_xor_row(idx)
-                if conflict is not None:
-                    # Rewind so this variable's remaining watchers are
-                    # re-examined after the conflict is resolved.
-                    self._xor_qhead -= 1
-                    return conflict
-                enqueued = True
-                i += 1
-        return True if enqueued else None
-
-    def _xor_clause(self, mask: int, exclude: int) -> List[int]:
-        """Clause of currently-false literals over the row's assigned vars."""
+        if code >= 0:
+            return self._state.clause_list(code)
+        row = -code - 2
+        assigns = self._state.mv_assigns
         out = []
-        m = mask
-        while m:
-            v = (m & -m).bit_length() - 1
-            m &= m - 1
-            if v == exclude:
+        for u in self._state.xor_var_list(row):
+            if u == implied_var:
                 continue
-            # Variable v is assigned; the literal matching *the opposite* of
-            # its value is false right now.
-            out.append(2 * v + (1 if self._assigns[v] == 1 else 0))
+            # Variable u is assigned; the literal matching *the opposite*
+            # of its value is false right now.
+            out.append(2 * u + (1 if assigns[u] == 1 else 0))
+        if implied_var is not None:
+            lit = 2 * implied_var + (0 if assigns[implied_var] == 1 else 1)
+            out.insert(0, lit)
         return out
 
     # ------------------------------------------------------------------
     # Internals: conflict analysis & learning
     # ------------------------------------------------------------------
 
-    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
         """First-UIP analysis; returns (learnt clause, backtrack level)."""
+        st = self._state
+        trail = st.mv_trail
+        level = st.mv_level
+        reason = st.mv_reason
         current_level = self._decision_level()
         learnt: List[int] = [0]  # Slot 0 for the asserting literal.
         seen = set()
         counter = 0
         p = None
-        reason_lits = conflict
-        trail_idx = len(self._trail) - 1
+        reason_code = conflict
+        trail_idx = int(st.regs[R_TRAIL_LEN]) - 1
 
         while True:
-            self._bump_clause(reason_lits)
+            self._bump_clause(reason_code)
+            reason_lits = self._code_lits(
+                reason_code, None if p is None else p >> 1)
             start = 0 if p is None else 1
             for q in reason_lits[start:]:
                 v = q >> 1
-                if v in seen or self._level[v] == 0:
+                if v in seen or level[v] == 0:
                     continue
                 seen.add(v)
                 self._bump_activity(v)
-                if self._level[v] == current_level:
+                if level[v] == current_level:
                     counter += 1
                 else:
                     learnt.append(q)
-            while (self._trail[trail_idx] >> 1) not in seen:
+            while (trail[trail_idx] >> 1) not in seen:
                 trail_idx -= 1
-            p = self._trail[trail_idx]
+            p = trail[trail_idx]
             trail_idx -= 1
             v = p >> 1
             seen.discard(v)
             counter -= 1
             if counter == 0:
                 break
-            reason_lits = self._reason[v]
-            assert reason_lits is not None, "UIP literal must be implied"
+            reason_code = reason[v]
+            assert reason_code != REASON_NONE, "UIP literal must be implied"
 
         learnt[0] = p ^ 1
         if len(learnt) == 1:
@@ -611,30 +561,31 @@ class CdclSolver:
         # place that literal in the second watch position.
         max_idx = 1
         for i in range(2, len(learnt)):
-            if self._level[learnt[i] >> 1] > self._level[learnt[max_idx] >> 1]:
+            if level[learnt[i] >> 1] > level[learnt[max_idx] >> 1]:
                 max_idx = i
         learnt[1], learnt[max_idx] = learnt[max_idx], learnt[1]
-        return learnt, self._level[learnt[1] >> 1]
+        return learnt, int(level[learnt[1] >> 1])
 
     def _attach_learnt(self, learnt: List[int]) -> None:
         self.stats.learned_clauses += 1
         if len(learnt) == 1:
-            self._enqueue(learnt[0], None)
+            self._enqueue(learnt[0], REASON_NONE)
             return
-        self._clauses.append(learnt)
-        self._watches[learnt[0]].append(learnt)
-        self._watches[learnt[1]].append(learnt)
-        self._learnts.append(learnt)
-        self._learnt_activity[id(learnt)] = self._cla_inc
-        self._enqueue(learnt[0], learnt)
+        ci = self._state.add_clause_lits(learnt)
+        self._state.watch_add(learnt[0], ci)
+        self._state.watch_add(learnt[1], ci)
+        self._learnts.append(ci)
+        self._learnt_activity[ci] = self._cla_inc
+        self._enqueue(learnt[0], ci)
 
-    def _bump_clause(self, clause: List[int]) -> None:
-        key = id(clause)
-        activity = self._learnt_activity.get(key)
+    def _bump_clause(self, code: int) -> None:
+        if code < 0:
+            return  # XOR rows are not subject to deletion.
+        activity = self._learnt_activity.get(code)
         if activity is None:
             return  # Original clause: not subject to deletion.
         activity += self._cla_inc
-        self._learnt_activity[key] = activity
+        self._learnt_activity[code] = activity
         if activity > self.ACTIVITY_RESCALE:
             scale = 1.0 / self.ACTIVITY_RESCALE
             for k in self._learnt_activity:
@@ -647,62 +598,73 @@ class CdclSolver:
         Keeps binary clauses and clauses currently locked as reasons; the
         budget then grows geometrically so reductions stay amortised.  This
         is what keeps long-lived incremental sessions (one solver across a
-        whole level search) from drowning in stale watch lists.
+        whole level search) from drowning in stale watch lists.  Dropped
+        clauses become unreachable pool garbage (propagation only reaches
+        clauses through watch lists); the arena rebuild also compacts
+        relocation slack out of the watch pool.
         """
         self.stats.db_reductions += 1
-        locked = {id(reason) for reason in self._reason if reason is not None}
+        st = self._state
+        reason = st.mv_reason
+        locked = {reason[v] for v in range(self.num_vars)
+                  if reason[v] >= 0}
         by_activity = sorted(
-            self._learnts, key=lambda c: self._learnt_activity[id(c)])
+            self._learnts, key=lambda ci: self._learnt_activity[ci])
         drop = set()
         budget = len(self._learnts) // 2
-        for clause in by_activity:
+        clause_len = st.mv_clause_len
+        for ci in by_activity:
             if len(drop) >= budget:
                 break
-            if len(clause) <= 2 or id(clause) in locked:
+            if clause_len[ci] <= 2 or ci in locked:
                 continue
-            drop.add(id(clause))
+            drop.add(ci)
         if drop:
             self.stats.deleted_clauses += len(drop)
-            self._learnts = [c for c in self._learnts if id(c) not in drop]
-            self._clauses = [c for c in self._clauses if id(c) not in drop]
-            for lit in range(2 * self.num_vars):
-                watch_list = self._watches[lit]
-                if watch_list:
-                    self._watches[lit] = [c for c in watch_list
-                                          if id(c) not in drop]
-            for key in drop:
-                del self._learnt_activity[key]
+            self._learnts = [ci for ci in self._learnts if ci not in drop]
+            st.filter_watches(drop)
+            for ci in drop:
+                del self._learnt_activity[ci]
         self._max_learnts = int(self._max_learnts * self.LEARNT_GROWTH)
 
     def _backtrack_to(self, level: int) -> None:
         if self._decision_level() <= level:
             return
+        st = self._state
+        trail = st.mv_trail
+        assigns = st.mv_assigns
+        reason = st.mv_reason
+        saved_phase = st.mv_saved_phase
         boundary = self._trail_lim[level]
-        for lit in reversed(self._trail[boundary:]):
-            v = lit >> 1
-            self._saved_phase[v] = self._assigns[v]
-            self._assigns[v] = _UNASSIGNED
-            self._reason[v] = None
-        del self._trail[boundary:]
+        for idx in range(int(st.regs[R_TRAIL_LEN]) - 1, boundary - 1, -1):
+            v = trail[idx] >> 1
+            saved_phase[v] = assigns[v]
+            assigns[v] = _UNASSIGNED
+            reason[v] = REASON_NONE
+        st.regs[R_TRAIL_LEN] = boundary
         del self._trail_lim[level:]
-        self._qhead = min(self._qhead, len(self._trail))
-        self._xor_qhead = min(self._xor_qhead, len(self._trail))
+        st.regs[R_DLEVEL] = level
+        if st.regs[R_QHEAD] > boundary:
+            st.regs[R_QHEAD] = boundary
+        if st.regs[R_XQHEAD] > boundary:
+            st.regs[R_XQHEAD] = boundary
 
     # ------------------------------------------------------------------
     # Internals: heuristics
     # ------------------------------------------------------------------
 
     def _pick_branch_literal(self) -> Optional[int]:
+        assigns = self._state.mv_assigns
+        activity = self._activity
         best_var = -1
         best_activity = -1.0
         for v in range(self.num_vars):
-            if self._assigns[v] == _UNASSIGNED \
-                    and self._activity[v] > best_activity:
+            if assigns[v] == _UNASSIGNED and activity[v] > best_activity:
                 best_var = v
-                best_activity = self._activity[v]
+                best_activity = activity[v]
         if best_var < 0:
             return None
-        phase = self._saved_phase[best_var]
+        phase = self._state.mv_saved_phase[best_var]
         return 2 * best_var + (0 if phase == 1 else 1)
 
     def _bump_activity(self, v: int) -> None:

@@ -151,10 +151,11 @@ class BucketingF0:
     """Median over ``t`` independent :class:`BucketingRow` repetitions."""
 
     def __init__(self, universe_bits: int, params: SketchParams,
-                 rng: RandomSource) -> None:
+                 rng: RandomSource, kernel: str | None = None) -> None:
         self.universe_bits = universe_bits
         self.params = params
-        family = ToeplitzHashFamily(universe_bits, universe_bits)
+        family = ToeplitzHashFamily(universe_bits, universe_bits,
+                                    kernel=kernel)
         self.rows: List[BucketingRow] = [
             BucketingRow(family.sample(rng), params.thresh)
             for _ in range(params.repetitions)

@@ -98,12 +98,13 @@ class EstimationF0:
 
     def __init__(self, universe_bits: int, params: SketchParams,
                  rng: RandomSource,
-                 independence: int | None = None) -> None:
+                 independence: int | None = None,
+                 kernel: str | None = None) -> None:
         self.universe_bits = universe_bits
         self.params = params
         if independence is None:
             independence = independence_for_eps(params.eps)
-        family = KWiseHashFamily(universe_bits, independence)
+        family = KWiseHashFamily(universe_bits, independence, kernel=kernel)
         self.rows: List[EstimationRow] = [
             EstimationRow([family.sample(rng)
                            for _ in range(params.thresh)])
