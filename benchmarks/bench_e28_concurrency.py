@@ -6,8 +6,9 @@ serializations) and made the transport pluggable.  This benchmark
 measures what that buys under concurrent load:
 
 * **Pure-query scaling** -- serial vs 8-client vs 32-client ``estimate``
-  qps against a warm ShardedF0-backed sketch, for BOTH registered front
-  ends (``threading`` and ``asyncio``).  The enforced gate: 8-client
+  qps against a warm ShardedF0-backed sketch, for EVERY registered
+  front end (``threading``, ``asyncio``, ``multiproc`` -- each run is
+  stamped with ``frontend``/``procs``).  The enforced gate: 8-client
   qps >= 0.8x serial -- cached reads must not collapse under
   concurrency (on any host: a warm read does O(1) work, so even one
   core only pays scheduling overhead).
@@ -134,6 +135,10 @@ def _frontend_run(name, items):
         mixed = _mixed_qps(server.url)
         return {
             "frontend": name,
+            # Single-process front ends serve from this process; the
+            # multiproc front end stamps its fork width so qps numbers
+            # are never compared across different core budgets.
+            "procs": getattr(server, "procs", 1),
             "warm_estimate": warm_estimate,
             "query_qps_by_clients": {str(k): v
                                      for k, v in query_qps.items()},

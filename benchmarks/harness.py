@@ -12,7 +12,13 @@ from typing import List, Mapping, Sequence
 from repro.parallel.executor import available_workers
 from repro.streaming.base import SketchParams
 
-REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+#: Anchored to this file's absolute location, *not* the invocation cwd:
+#: ``__file__`` can be relative under some runners (pytest rootdir
+#: tricks, ``python benchmarks/...`` from elsewhere), which used to
+#: scatter BENCH_*.json wherever the process happened to be launched
+#: and break CI artifact uploads.
+REPORT_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "reports")
 
 #: Bench-scale constants: same structure as the paper's (Thresh ~ c/eps^2,
 #: t ~ c log(1/delta)), scaled so the full suite runs in minutes.  The

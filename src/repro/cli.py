@@ -13,9 +13,13 @@ Examples::
     python -m repro f0 items.txt --universe-bits 16 --workers 0
     python -m repro serve --port 8080 --snapshot sketches.bin
     python -m repro serve --frontend asyncio --snapshot-on-exit exit.bin
+    python -m repro serve --frontend multiproc --procs 4
     python -m repro serve --cluster http://h1:8081,http://h2:8082
     python -m repro frontends
+    python -m repro rebalance --from http://h1:8081,http://h2:8082 \
+        --to http://h1:8081,http://h2:8082,http://h3:8083
     python -m repro push clicks items.txt --create --universe-bits 32
+    python -m repro push clicks items.txt --workers 4
     python -m repro query clicks
 
 ``count`` accepts DIMACS ``p cnf`` and ``p dnf`` files (sniffed from the
@@ -29,13 +33,19 @@ selects the compute kernel driving the solver and hashing inner loops
 environment variable sets the session default).
 
 ``serve`` runs the long-lived sketch service of :mod:`repro.service` --
-``--frontend`` picks the transport (``repro frontends`` lists them),
-``--snapshot-on-exit`` makes SIGTERM/SIGINT shutdowns durable, and
-``--cluster`` turns the process into a consistent-hashing gateway over
-several node services (:mod:`repro.distributed.cluster`).  ``push``
-ingests an item file into a local replica of a named served sketch and
-uploads one merge; ``query`` reads its current estimate.  See
-``docs/TUTORIAL.md`` for the full service walkthrough.
+``--frontend`` picks the transport (``repro frontends`` lists them;
+``REPRO_FRONTEND``/``REPRO_PROCS`` set session defaults the same way
+``REPRO_KERNEL`` does), ``--frontend multiproc --procs N`` pre-forks N
+shared-nothing workers on one port, ``--snapshot-on-exit`` makes
+SIGTERM/SIGINT shutdowns durable, and ``--cluster`` turns the process
+into a consistent-hashing gateway over several node services
+(:mod:`repro.distributed.cluster`).  ``rebalance`` streams sketch
+frames to their new owners after the cluster's node set changes,
+moving only names whose ring ownership moved.  ``push`` ingests an
+item file into a local replica of a named served sketch and uploads
+one merge (``--workers`` fans the file over a process pool first);
+``query`` reads its current estimate.  See ``docs/TUTORIAL.md`` for
+the full service walkthrough.
 """
 
 from __future__ import annotations
@@ -208,20 +218,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         router = ClusterRouter(
             ClusterClient(nodes, replication=args.replication))
     from repro.common.errors import ReproError
-    from repro.service.frontends import DEFAULT_FRONTEND, frontend_names
+    from repro.service.frontends import resolve_frontend_name
 
-    frontend = args.frontend or DEFAULT_FRONTEND
-    if frontend not in frontend_names():
-        raise SystemExit(
-            f"unknown front end {frontend!r}; registered: "
-            f"{', '.join(frontend_names())} (see `repro frontends`)")
+    try:
+        # Explicit --frontend was validated by argparse; this resolves
+        # the override / REPRO_FRONTEND / default chain (a bad env
+        # value surfaces here as a one-line error, not a traceback).
+        frontend = resolve_frontend_name(args.frontend)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if frontend != "multiproc":
+        if args.procs is not None:
+            raise SystemExit(
+                f"--procs only applies to --frontend multiproc "
+                f"(resolved front end: {frontend!r})")
+        if args.delta_interval is not None:
+            raise SystemExit(
+                f"--delta-interval only applies to --frontend multiproc "
+                f"(resolved front end: {frontend!r})")
     try:
         serve(host=args.host, port=args.port,
               snapshot_path=args.snapshot, restore=args.restore,
               verbose=not args.quiet, frontend=frontend,
-              snapshot_on_exit=args.snapshot_on_exit, router=router)
+              snapshot_on_exit=args.snapshot_on_exit, router=router,
+              procs=args.procs, delta_interval=args.delta_interval)
     except ReproError as exc:
         raise SystemExit(str(exc))
+    return 0
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    from repro.distributed.cluster import ClusterError, rebalance
+    from repro.service.client import ServiceError
+
+    old_nodes = [n.strip() for n in args.from_nodes.split(",")
+                 if n.strip()]
+    new_nodes = [n.strip() for n in args.to_nodes.split(",") if n.strip()]
+    if not old_nodes or not new_nodes:
+        raise SystemExit("--from and --to each need a comma-separated "
+                         "list of node service URLs")
+    try:
+        report = rebalance(old_nodes, new_nodes,
+                           replication=args.replication,
+                           prune=args.prune, dry_run=args.dry_run)
+    except (ClusterError, ServiceError) as exc:
+        raise SystemExit(str(exc))
+    verb = "would move" if args.dry_run else "moved"
+    print(f"{verb} {report['moved_frames']} frame(s) for "
+          f"{len(report['moves'])} of {report['names']} sketch(es); "
+          f"pruned {report['pruned']}")
+    for move in report["moves"]:
+        print(f"  {move['name']}: -> {', '.join(move['targets'])}",
+              file=sys.stderr)
     return 0
 
 
@@ -241,6 +289,11 @@ def _cmd_frontends(args: argparse.Namespace) -> int:
 
 
 def _cmd_push(args: argparse.Namespace) -> int:
+    import copy
+    import time
+
+    from repro.parallel.executor import executor_for
+    from repro.parallel.streaming import ingest_stream_parallel
     from repro.service.client import ServiceClient, ServiceError
     from repro.streaming.base import chunked
 
@@ -261,17 +314,42 @@ def _cmd_push(args: argparse.Namespace) -> int:
     try:
         replica = client.replica(args.name)
         total = 0
+        started = time.perf_counter()
         with open(args.items) as f:
             items = (int(line) for line in f if line.strip())
-            for chunk in chunked(items, args.chunk_size):
-                replica.process_batch(chunk)
-                total += len(chunk)
-        client.push(args.name, replica)
+            chunks = chunked(items, args.chunk_size)
+            with executor_for(args.workers, None) as ex:
+                if ex.is_serial:
+                    for chunk in chunks:
+                        replica.process_batch(chunk)
+                        total += len(chunk)
+                    client.push(args.name, replica)
+                else:
+                    # Fan the chunks over a process pool of replicas
+                    # (same hash seeds, so set semantics keep the
+                    # result bit-identical) and upload the lot as one
+                    # batched frame request.
+                    counted = [0]
+
+                    def _counting(chunk_iter, counter=counted):
+                        for chunk in chunk_iter:
+                            counter[0] += len(chunk)
+                            yield chunk
+
+                    replicas = [copy.deepcopy(replica)
+                                for _ in range(ex.workers)]
+                    replicas = ingest_stream_parallel(
+                        ex, replicas, _counting(chunks), wire="store")
+                    client.push_frames(args.name, replicas)
+                    total = counted[0]
+        elapsed = time.perf_counter() - started
         estimate = client.estimate(args.name)
     except ServiceError as exc:
         raise SystemExit(str(exc))
+    rate = total / elapsed if elapsed > 0 else float("inf")
     print(f"{estimate:.6g}")
-    print(f"pushed {total} items to {args.name!r}", file=sys.stderr)
+    print(f"pushed {total} items to {args.name!r} "
+          f"({rate:.0f} items/s)", file=sys.stderr)
     return 0
 
 
@@ -318,6 +396,43 @@ def _kernel_arg(text: str) -> str:
             f"kernel {text!r} is not usable here: "
             f"{info.unavailable_reason}")
     return text
+
+
+def _frontend_arg(text: str) -> str:
+    """Parse ``--frontend`` against the registry with a friendly message
+    (see `repro frontends`) instead of a late serve-time error."""
+    from repro.service.frontends import frontend_names
+
+    if text not in frontend_names():
+        raise argparse.ArgumentTypeError(
+            f"unknown front end {text!r}; registered: "
+            f"{', '.join(frontend_names())} (see `repro frontends`)")
+    return text
+
+
+def _procs_arg(text: str) -> int:
+    """Parse ``--procs`` with a friendly message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "procs must be >= 0 (0 = all cores)")
+    return value
+
+
+def _delta_interval_arg(text: str) -> float:
+    """Parse ``--delta-interval`` with a friendly message."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "delta interval must be >= 0 seconds (0 = publish "
+            "immediately)")
+    return value
 
 
 def _chunk_size_arg(text: str) -> int:
@@ -444,10 +559,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "(a missing file starts the service empty)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request log lines")
-    serve.add_argument("--frontend", default=None,
+    serve.add_argument("--frontend", type=_frontend_arg, default=None,
                        metavar="NAME",
                        help="transport front end (see `repro "
-                            "frontends`; default threading)")
+                            "frontends`; default $REPRO_FRONTEND or "
+                            "threading)")
+    serve.add_argument("--procs", type=_procs_arg, default=None,
+                       metavar="N",
+                       help="worker processes for --frontend multiproc "
+                            "(0 = all cores; default $REPRO_PROCS or 2)")
+    serve.add_argument("--delta-interval", type=_delta_interval_arg,
+                       default=None, metavar="SECONDS",
+                       help="multiproc delta-publish coalescing "
+                            "interval (default 0 = publish each "
+                            "acknowledged write immediately)")
     serve.add_argument("--snapshot-on-exit", default=None, metavar="PATH",
                        help="snapshot the store here on graceful "
                             "shutdown (SIGTERM/SIGINT)")
@@ -464,6 +589,28 @@ def build_parser() -> argparse.ArgumentParser:
     frontends = sub.add_parser(
         "frontends", help="list registered service front ends")
     frontends.set_defaults(func=_cmd_frontends)
+
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="stream frames to new ring owners after a node-set change")
+    rebalance.add_argument("--from", dest="from_nodes", required=True,
+                           metavar="URLS",
+                           help="comma-separated node URLs before the "
+                                "topology change")
+    rebalance.add_argument("--to", dest="to_nodes", required=True,
+                           metavar="URLS",
+                           help="comma-separated node URLs after the "
+                                "topology change")
+    rebalance.add_argument("--replication", type=int, default=2,
+                           help="replicas per sketch name (must match "
+                                "the cluster clients'; default 2)")
+    rebalance.add_argument("--prune", action="store_true",
+                           help="delete moved names from nodes that "
+                                "lost ownership (default keeps them; "
+                                "set semantics make extras harmless)")
+    rebalance.add_argument("--dry-run", action="store_true",
+                           help="plan and report without moving frames")
+    rebalance.set_defaults(func=_cmd_rebalance)
 
     push = sub.add_parser(
         "push", help="ingest an item file into a served sketch")
@@ -487,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="batch-ingestion chunk size "
                            f"(default {DEFAULT_CHUNK_SIZE})")
     add_common(push)
+    add_workers(push)
     push.set_defaults(func=_cmd_push)
 
     query = sub.add_parser(

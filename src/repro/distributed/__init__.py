@@ -20,9 +20,11 @@ builds the F0-reduction instances behind the ``Omega(k/eps^2)`` bound.
 Deployment-shaped counterparts live alongside the simulations:
 :class:`SketchStoreCoordinator` runs the combine against a live store or
 service, and :mod:`repro.distributed.cluster` scales that to several
-service nodes with consistent hashing, R-way replication and
+service nodes with consistent hashing, R-way replication,
 merge-on-read fail-over (:class:`ClusterClient` /
-:class:`ClusterRouter`).
+:class:`ClusterRouter`) and topology-change frame streaming
+(:func:`rebalance`, which moves only the frames whose ring ownership
+changed).
 """
 
 from repro.distributed.cluster import (
@@ -30,6 +32,9 @@ from repro.distributed.cluster import (
     ClusterError,
     ClusterRouter,
     HashRing,
+    RebalanceMove,
+    plan_rebalance,
+    rebalance,
 )
 from repro.distributed.network import BitChannel, DistributedResult
 from repro.distributed.partition import (
@@ -51,7 +56,10 @@ __all__ = [
     "ClusterRouter",
     "DistributedResult",
     "HashRing",
+    "RebalanceMove",
     "SketchStoreCoordinator",
+    "plan_rebalance",
+    "rebalance",
     "distributed_bucketing",
     "distributed_estimation",
     "distributed_minimum",

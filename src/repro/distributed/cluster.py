@@ -33,7 +33,16 @@ import bisect
 import hashlib
 import json
 import urllib.parse
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.common.errors import ReproError
 from repro.service.client import ServiceClient, ServiceError
@@ -355,6 +364,166 @@ class ClusterClient:
         }
 
 
+# --------------------------------------------------------------------------
+# Rebalance: move only the frames whose ring ownership changed
+
+
+class RebalanceMove(NamedTuple):
+    """One name's planned frame movement under a ring change."""
+
+    #: Sketch name being moved.
+    name: str
+    #: Old replica set, preference order (frame sources).
+    sources: List[str]
+    #: Nodes gaining ownership, new preference order (frame targets).
+    targets: List[str]
+    #: Nodes losing ownership (prune candidates once targets hold it).
+    releases: List[str]
+
+
+def plan_rebalance(names: Iterable[str], old_nodes: Sequence[str],
+                   new_nodes: Sequence[str],
+                   replication: int = DEFAULT_REPLICATION,
+                   vnodes: int = DEFAULT_VNODES) -> List[RebalanceMove]:
+    """Diff two ring layouts; list only the names whose ownership moved.
+
+    Pure ring arithmetic, no network: for each name the old and new
+    replica sets are computed and a :class:`RebalanceMove` is emitted
+    only when some node *gained* the name.  Consistent hashing keeps
+    this list small -- adding one node to an N-node ring moves ~1/(N+1)
+    of the keys, and :func:`rebalance` streams exactly one frame per
+    (name, gaining node) pair, nothing else.
+
+    Args:
+        names: sketch names currently in the cluster.
+        old_nodes: node URLs before the topology change.
+        new_nodes: node URLs after it.
+        replication: replicas per name (capped at each ring's size).
+        vnodes: virtual nodes per physical node (must match the
+            clients' setting or the diff is meaningless).
+    """
+    old_ring = HashRing(old_nodes, vnodes=vnodes)
+    new_ring = HashRing(new_nodes, vnodes=vnodes)
+    moves: List[RebalanceMove] = []
+    for name in sorted(set(names)):
+        old_set = old_ring.nodes_for(name, replication)
+        new_set = new_ring.nodes_for(name, replication)
+        gained = [n for n in new_set if n not in old_set]
+        if not gained:
+            continue
+        released = [n for n in old_set if n not in new_set]
+        moves.append(RebalanceMove(name, old_set, gained, released))
+    return moves
+
+
+def rebalance(old_nodes: Sequence[str], new_nodes: Sequence[str],
+              replication: int = DEFAULT_REPLICATION,
+              vnodes: int = DEFAULT_VNODES, timeout: float = 30.0,
+              client_factory: Optional[Callable[..., ServiceClient]] = None,
+              prune: bool = False,
+              dry_run: bool = False) -> Dict[str, object]:
+    """Stream frames to their new owners after a node-set change.
+
+    For every name some node gained, the frame is fetched (raw, never
+    decoded) from the first live old replica and merge-pushed to each
+    gaining node -- falling back to a create-style upload when the
+    target has never seen the name (404).  Merge-on-put makes the whole
+    operation idempotent: re-running a rebalance, or racing it with
+    live shard uploads, cannot lose or double-count items.
+
+    Args:
+        old_nodes: node URLs before the topology change.
+        new_nodes: node URLs after it.
+        replication: replicas per name (must match the clients').
+        vnodes: ring vnodes (must match the clients').
+        timeout: per-request socket timeout.
+        client_factory: injectable ``factory(url, timeout)`` for tests.
+        prune: after a name's every target holds it, delete it from
+            nodes that lost ownership (default keeps them -- set
+            semantics make stale extra replicas harmless, just unread).
+        dry_run: plan and report without touching any node.
+
+    Returns:
+        A summary dict: ``names`` examined, ``moved_frames`` streamed
+        (== the number of (name, gaining-node) pairs), ``pruned``
+        deletions, ``unchanged`` names that kept their replica set,
+        and the per-name ``moves``.
+
+    Raises:
+        ClusterError: a name's every source replica is unreachable.
+        ServiceError: a reachable node rejected a transfer.
+    """
+    factory = client_factory or ServiceClient
+    clients: Dict[str, ServiceClient] = {}
+
+    def _client(url: str) -> ServiceClient:
+        if url not in clients:
+            clients[url] = factory(url, timeout=timeout)
+        return clients[url]
+
+    names: set = set()
+    reachable = 0
+    for url in old_nodes:
+        try:
+            names.update(_client(url).sketches())
+        except ServiceError as exc:
+            if exc.status != 0:
+                raise
+            continue
+        reachable += 1
+    if not reachable:
+        raise ClusterError("no old-ring node reachable to list sketches")
+
+    moves = plan_rebalance(names, old_nodes, new_nodes,
+                           replication=replication, vnodes=vnodes)
+    moved = pruned = 0
+    for move in moves:
+        if dry_run:
+            moved += len(move.targets)
+            continue
+        frame: Optional[bytes] = None
+        down: Optional[ServiceError] = None
+        for source in move.sources:
+            try:
+                frame = _client(source).fetch_frame(move.name)
+                break
+            except ServiceError as exc:
+                if exc.status != 0:
+                    raise
+                down = exc
+        if frame is None:
+            raise ClusterError(
+                f"no live source for {move.name!r} among "
+                f"{move.sources}") from down
+        for target in move.targets:
+            client = _client(target)
+            try:
+                client.push_frame(move.name, frame)
+            except ServiceError as exc:
+                if exc.status != 404:
+                    raise
+                client.upload_frame(move.name, frame)
+            moved += 1
+        if prune:
+            for loser in move.releases:
+                try:
+                    _client(loser).delete(move.name)
+                except ServiceError as exc:
+                    if exc.status not in (0, 404):
+                        raise
+                    continue
+                pruned += 1
+    return {
+        "names": len(names),
+        "unchanged": len(names) - len(moves),
+        "moved_frames": moved,
+        "pruned": pruned,
+        "dry_run": dry_run,
+        "moves": [{"name": m.name, "targets": m.targets,
+                   "releases": m.releases} for m in moves],
+    }
+
+
 #: Create-payload keys a gateway forwards to the node services.
 _CREATE_KEYS = ("kind", "universe_bits", "eps", "delta",
                 "thresh_constant", "repetitions_constant", "seed",
@@ -508,4 +677,7 @@ __all__ = [
     "ClusterError",
     "ClusterRouter",
     "HashRing",
+    "RebalanceMove",
+    "plan_rebalance",
+    "rebalance",
 ]

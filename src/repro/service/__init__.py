@@ -11,7 +11,9 @@ into a transport-independent core and pluggable transports:
   snapshot endpoints, unit-testable without a socket;
 * :mod:`repro.service.frontends` -- the front-end registry
   (``threading`` = one OS thread per request, ``asyncio`` = one event
-  loop over all connections) selected by ``repro serve --frontend``;
+  loop over all connections, ``multiproc`` = N pre-forked
+  ``SO_REUSEPORT`` workers reconciling via the frame-delta log)
+  selected by ``repro serve --frontend`` or ``REPRO_FRONTEND``;
 * :mod:`repro.service.server` -- the threading front end
   (:class:`F0Server`) and the graceful-shutdown :func:`serve` shell
   (SIGTERM/SIGINT, optional snapshot-on-exit);
@@ -29,11 +31,17 @@ replication, fail-over) see :mod:`repro.distributed.cluster`.
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.frontends import (
     DEFAULT_FRONTEND,
+    DEFAULT_PROCS,
     AsyncioFrontend,
+    MultiprocFrontend,
     create_frontend,
     frontend_info,
     frontend_names,
     register_frontend,
+    resolve_frontend_name,
+    resolve_procs,
+    set_default_frontend,
+    set_default_procs,
 )
 from repro.service.router import Response, Router
 from repro.service.server import F0Server, serve
@@ -41,7 +49,9 @@ from repro.service.server import F0Server, serve
 __all__ = [
     "AsyncioFrontend",
     "DEFAULT_FRONTEND",
+    "DEFAULT_PROCS",
     "F0Server",
+    "MultiprocFrontend",
     "Response",
     "Router",
     "ServiceClient",
@@ -50,5 +60,9 @@ __all__ = [
     "frontend_info",
     "frontend_names",
     "register_frontend",
+    "resolve_frontend_name",
+    "resolve_procs",
     "serve",
+    "set_default_frontend",
+    "set_default_procs",
 ]

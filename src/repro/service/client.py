@@ -140,6 +140,31 @@ class ServiceClient:
         path = f"/v1/sketches/{self._seg(name)}/blob"
         return loads(self._request("GET", path))
 
+    def fetch_frame(self, name: str) -> bytes:
+        """Download the sketch's raw wire frame, undecoded.
+
+        The frame-streaming primitive: rebalance moves entries between
+        nodes without ever materialising the sketch objects, so a
+        gateway can shuttle frames it could not even decode.
+        """
+        path = f"/v1/sketches/{self._seg(name)}/blob"
+        return self._request("GET", path)
+
+    def push_frame(self, name: str, frame: bytes) -> None:
+        """Merge-on-put upload of an already-serialized wire frame.
+
+        Raises:
+            ServiceError: 404 for an unknown name, 400 for a malformed
+                or incompatible frame.
+        """
+        self._request("POST", f"/v1/sketches/{self._seg(name)}/merge",
+                      frame, content_type="application/octet-stream")
+
+    def upload_frame(self, name: str, frame: bytes) -> None:
+        """Create-or-replace the named entry from a raw wire frame."""
+        self._request("PUT", f"/v1/sketches/{self._seg(name)}", frame,
+                      content_type="application/octet-stream")
+
     def replica(self, name: str) -> F0Sketch:
         """A local replica suitable for shard ingestion.
 

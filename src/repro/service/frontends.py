@@ -17,15 +17,30 @@ Registered front ends:
   router calls to a small thread pool so a slow mutation never stalls
   the loop.  Thousands of idle keep-alive connections cost almost
   nothing.
+* ``multiproc`` -- :class:`~repro.service.multiproc.MultiprocFrontend`:
+  N pre-forked shared-nothing workers on one ``SO_REUSEPORT`` port,
+  reconciling through the frame-delta log
+  (:mod:`repro.store.deltalog`).  The only front end that scales mixed
+  read/write load past one core (benchmark E30).
 
 Every front end implements the same tiny contract
 (:class:`ServiceFrontend`): ``url``, ``start_background()``,
 ``stop()``.  ``python -m repro frontends`` lists this registry.
+
+Which front end (and how many workers) to run resolves exactly like
+the compute-kernel registry (:mod:`repro.kernels.registry`): an
+explicit value, else the process-wide override
+(:func:`set_default_frontend` / :func:`set_default_procs`), else the
+``REPRO_FRONTEND`` / ``REPRO_PROCS`` environment variables, else the
+defaults.  Which one *wins* is workload-dependent -- so benchmarks
+E28/E30 stamp ``frontend``/``procs`` into their payloads and measure
+instead of assuming.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
@@ -71,6 +86,92 @@ _REGISTRY: Dict[str, FrontendInfo] = {}
 #: The front end ``repro serve`` uses when none is named.
 DEFAULT_FRONTEND = "threading"
 
+#: Worker count the multiproc front end uses when none is named
+#: (0 means "all cores").
+DEFAULT_PROCS = 2
+
+#: Environment variables consulted when no explicit value is given.
+ENV_FRONTEND = "REPRO_FRONTEND"
+ENV_PROCS = "REPRO_PROCS"
+
+_frontend_override: Optional[str] = None
+_procs_override: Optional[int] = None
+
+
+def set_default_frontend(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide front-end override.
+
+    Takes precedence over ``REPRO_FRONTEND``; validated eagerly so a
+    typo fails at the flag, not at serve time.
+    """
+    if name is not None:
+        frontend_info(name)
+    global _frontend_override
+    _frontend_override = name
+
+
+def set_default_procs(count: Optional[int]) -> None:
+    """Set (or with ``None`` clear) the process-wide worker-count
+    override (takes precedence over ``REPRO_PROCS``).
+
+    Raises:
+        ReproError: negative count.
+    """
+    if count is not None and count < 0:
+        raise ReproError("procs must be >= 0 (0 = all cores)")
+    global _procs_override
+    _procs_override = count
+
+
+def resolve_frontend_name(name: Optional[str] = None) -> str:
+    """The front-end name an optional explicit ``name`` resolves to
+    (explicit > override > ``REPRO_FRONTEND`` > default).
+
+    Raises:
+        ReproError: ``REPRO_FRONTEND`` names an unregistered front end
+            (explicit and override values were validated at their
+            source; the env var can only be checked here).
+    """
+    if name:
+        return name
+    if _frontend_override:
+        return _frontend_override
+    env = os.environ.get(ENV_FRONTEND)
+    if env:
+        if env not in _REGISTRY:
+            raise ReproError(
+                f"{ENV_FRONTEND}={env!r} names an unknown front end; "
+                f"registered: {', '.join(frontend_names())}")
+        return env
+    return DEFAULT_FRONTEND
+
+
+def resolve_procs(count: Optional[int] = None) -> int:
+    """The worker count an optional explicit ``count`` resolves to
+    (explicit > override > ``REPRO_PROCS`` > default; 0 = all cores).
+
+    Raises:
+        ReproError: ``REPRO_PROCS`` is not a non-negative integer.
+    """
+    if count is not None:
+        if count < 0:
+            raise ReproError("procs must be >= 0 (0 = all cores)")
+        return count
+    if _procs_override is not None:
+        return _procs_override
+    env = os.environ.get(ENV_PROCS)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            value = -1
+        if value < 0:
+            raise ReproError(
+                f"{ENV_PROCS}={env!r} must be a non-negative integer "
+                "(0 = all cores)")
+        return value
+    return DEFAULT_PROCS
+
 
 def register_frontend(name: str, description: str,
                       factory: Callable[..., ServiceFrontend]) -> None:
@@ -79,8 +180,10 @@ def register_frontend(name: str, description: str,
     Args:
         name: the ``--frontend`` value selecting it.
         description: one-line human summary for the listing verb.
-        factory: ``factory(address, router, verbose=...)`` returning an
-            unstarted :class:`ServiceFrontend`.
+        factory: ``factory(address, router, verbose=..., **options)``
+            returning an unstarted :class:`ServiceFrontend`; factories
+            must tolerate (and may ignore) options meant for other
+            front ends.
 
     Raises:
         ReproError: the name is already taken.
@@ -110,9 +213,16 @@ def frontend_info(name: str) -> FrontendInfo:
 
 
 def create_frontend(name: str, address: Address, router: Router,
-                    verbose: bool = False) -> ServiceFrontend:
-    """Instantiate (but do not start) a registered front end."""
-    return frontend_info(name).factory(address, router, verbose=verbose)
+                    verbose: bool = False, **options) -> ServiceFrontend:
+    """Instantiate (but do not start) a registered front end.
+
+    ``options`` are front-end specific (the multiproc front end takes
+    ``procs``/``delta_interval``); ``None``-valued options are dropped
+    so callers can pass CLI flags through unconditionally.
+    """
+    options = {k: v for k, v in options.items() if v is not None}
+    return frontend_info(name).factory(address, router, verbose=verbose,
+                                       **options)
 
 
 # --------------------------------------------------------------------------
@@ -330,8 +440,13 @@ def _error_response(status: int, message: str):
 
 
 def _threading_factory(address: Address, router: Router,
-                       verbose: bool = False) -> F0Server:
+                       verbose: bool = False, **_options) -> F0Server:
     return F0Server(address, router=router, verbose=verbose)
+
+
+def _asyncio_factory(address: Address, router: Router,
+                     verbose: bool = False, **_options) -> AsyncioFrontend:
+    return AsyncioFrontend(address, router, verbose=verbose)
 
 
 register_frontend(
@@ -343,15 +458,33 @@ register_frontend(
     "asyncio",
     "single event loop multiplexing all connections "
     "(asyncio.start_server + handler thread pool)",
-    AsyncioFrontend)
+    _asyncio_factory)
+
+# Imported at the bottom: multiproc needs this module's resolution
+# helpers, so registering it first would be a circular import.
+from repro.service.multiproc import MultiprocFrontend  # noqa: E402
+
+register_frontend(
+    "multiproc",
+    "N pre-forked SO_REUSEPORT workers reconciling through the "
+    "frame-delta log (shared-nothing, scales past one core)",
+    MultiprocFrontend)
 
 __all__ = [
     "AsyncioFrontend",
     "DEFAULT_FRONTEND",
+    "DEFAULT_PROCS",
+    "ENV_FRONTEND",
+    "ENV_PROCS",
     "FrontendInfo",
+    "MultiprocFrontend",
     "ServiceFrontend",
     "create_frontend",
     "frontend_info",
     "frontend_names",
     "register_frontend",
+    "resolve_frontend_name",
+    "resolve_procs",
+    "set_default_frontend",
+    "set_default_procs",
 ]

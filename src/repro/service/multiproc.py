@@ -1,0 +1,603 @@
+"""The pre-fork multi-process front end: N workers, one port, one log.
+
+The GIL caps every single-process front end on mixed read/write load
+(benchmark E28).  This front end gets past it the only way the store's
+semantics allow cheaply: *shared-nothing* workers.  The parent forks N
+processes before serving; each worker runs the ordinary
+:class:`~repro.service.router.Router` over its own fork-inherited
+:class:`~repro.store.store.SketchStore` copy and its own accept loop,
+so requests on different workers never share a lock, a cache line, or
+a GIL.
+
+Two distribution modes:
+
+* ``reuseport`` (default where available) -- every worker binds the
+  same ``(host, port)`` with ``SO_REUSEPORT`` and the kernel spreads
+  incoming connections across them.  The parent holds a bound but
+  *non-listening* placeholder socket on the port: it reserves the
+  address for the fleet's lifetime without ever receiving connections
+  (only listening sockets join the reuseport group).
+* ``fdpass`` -- single-listener fallback for platforms without
+  ``SO_REUSEPORT``: the parent accepts and hands each connected socket
+  to a worker round-robin over a unix socketpair with
+  ``socket.send_fds``.
+
+Workers reconcile through the frame-delta log of
+:mod:`repro.store.deltalog`: :class:`DeltaRouter` wraps the router so
+every request first *folds* peers' new records into the local store
+(a warm no-op fold is one ``stat`` per peer) and every acknowledged
+mutation *publishes* the entry's wire frame -- immediately by default
+(cross-worker read-after-acknowledged-write), or coalesced on a
+publisher thread when ``delta_interval`` is set (the high-throughput
+mode benchmark E30 measures).  Because the sketches merge
+associatively, commutatively and idempotently, every worker's folded
+view -- and the parent's final fold on shutdown -- is bit-identical to
+a single-store run over the same writes.
+
+Graceful shutdown: ``stop()`` stops new connections, SIGTERMs the
+workers (each drains in-flight requests, flushes pending deltas, exits
+0), folds every worker's log into the parent's store copy, and leaves
+snapshotting to the caller -- ``repro serve --snapshot-on-exit`` writes
+exactly one snapshot covering all workers' writes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import select
+import shutil
+import signal
+import socket
+import tempfile
+import threading
+import time
+import urllib.parse
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import ReproError
+from repro.parallel.executor import available_workers
+from repro.service.server import F0Server, F0ServiceHandler
+from repro.store import deltalog
+from repro.store.deltalog import DeltaLog
+from repro.store.store import SketchNotFoundError
+
+Address = Tuple[str, int]
+
+#: Seconds a worker waits in ``accept``/``recv`` slices between
+#: shutdown-flag checks, and the idle keep-alive timeout on worker
+#: connections (bounds how long a drain can block on an idle client).
+_DRAIN_TIMEOUT = 2.0
+
+
+def _digest(frame: bytes) -> bytes:
+    """A compact fingerprint of one wire frame (publish dedup)."""
+    return hashlib.blake2b(frame, digest_size=16).digest()
+
+
+class DeltaRouter:
+    """Fold-before-dispatch / publish-after-ack wrapper around a router.
+
+    Args:
+        router: the worker-local :class:`~repro.service.router.Router`.
+        log: this worker's :class:`~repro.store.deltalog.DeltaLog`.
+        interval: ``0`` (default) publishes each acknowledged mutation
+            before its response -- strict cross-worker
+            read-after-acknowledged-write; ``> 0`` coalesces merge
+            publishes on a background thread every ``interval`` seconds
+            (creates, replaces, deletes and restores still publish
+            immediately -- metadata visibility is cheap and races are
+            not).
+    """
+
+    def __init__(self, router, log: DeltaLog,
+                 interval: float = 0.0) -> None:
+        self.router = router
+        self.store = getattr(router, "store", None)
+        self.log = log
+        self.interval = interval or 0.0
+        self._fold_lock = threading.Lock()
+        self._publish_lock = threading.Lock()
+        self._published: Dict[str, Tuple[int, bytes]] = {}
+        self._dirty: Set[str] = set()
+        self._dirty_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._publisher: Optional[threading.Thread] = None
+        if self.store is not None and self.interval > 0:
+            self._publisher = threading.Thread(
+                target=self._publish_loop, name="f0-delta-publisher",
+                daemon=True)
+            self._publisher.start()
+
+    # -- request path ------------------------------------------------------
+
+    def handle(self, method: str, path: str, body: bytes = b""):
+        """Fold peers' deltas, dispatch, publish the request's effects."""
+        if self.store is None:  # Store-less gateway: nothing to reconcile.
+            return self.router.handle(method, path, body)
+        self.fold()
+        method = method.upper()
+        restoring = method == "POST" and _parts(path) == ["v1", "restore"]
+        before = set(self.store.names()) if restoring else ()
+        response = self.router.handle(method, path, body)
+        if method != "GET" and 200 <= response.status < 400:
+            try:
+                self._publish_effects(method, path, body, before)
+            except OSError:
+                pass  # A full disk must not turn an applied write into
+                # a 500; the write is still locally durable-in-memory.
+        return response
+
+    def fold(self) -> None:
+        """Fold peers' new delta records into the local store."""
+        with self._fold_lock:
+            try:
+                self.log.fold_into(self.store)
+            except OSError:
+                pass
+
+    # -- publish -----------------------------------------------------------
+
+    def _publish_effects(self, method: str, path: str, body: bytes,
+                         names_before) -> None:
+        """Map one acknowledged mutation onto delta records."""
+        parts = _parts(path)
+        if parts == ["v1", "sketches"] and method == "POST":
+            try:
+                name = json.loads(body).get("name")
+            except ValueError:
+                return
+            if isinstance(name, str):
+                self._publish_merge(name)
+        elif parts == ["v1", "restore"] and method == "POST":
+            after = set(self.store.names())
+            for name in names_before - after:
+                self._publish_delete(name)
+            for name in sorted(after):
+                self._publish_replace(name)
+        elif len(parts) >= 3 and parts[:2] == ["v1", "sketches"]:
+            name = urllib.parse.unquote(parts[2])
+            action = parts[3] if len(parts) > 3 else None
+            if action is None and method == "PUT":
+                self._publish_replace(name)
+            elif action is None and method == "DELETE":
+                self._publish_delete(name)
+            elif method == "POST" \
+                    and action in ("ingest", "merge", "frames"):
+                if self.interval > 0:
+                    with self._dirty_lock:
+                        self._dirty.add(name)
+                else:
+                    self._publish_merge(name)
+
+    def _frame_ttl(self, name: str):
+        """Current ``(frame, version, ttl)`` of one entry, or None."""
+        try:
+            version = self.store.entry_version(name)
+            frame = self.store.serialized(name)
+            ttl = self.store.info(name)["ttl"]
+        except SketchNotFoundError:
+            return None  # Deleted under us; the delete will publish.
+        return frame, version, ttl
+
+    def _publish_merge(self, name: str) -> None:
+        with self._publish_lock:
+            last = self._published.get(name)
+            current = self._frame_ttl(name)
+            if current is None:
+                return
+            frame, version, ttl = current
+            if last is not None and last[0] >= version:
+                return  # The published frame already includes this state.
+            digest = _digest(frame)
+            if last is not None and last[1] == digest:
+                self._published[name] = (version, digest)
+                return  # Version moved but the contents did not (a fold
+                # of peer state we already covered): publishing would
+                # only ping-pong identical frames between workers.
+            self.log.append(deltalog.MERGE, name, frame, ttl=ttl)
+            self._published[name] = (version, digest)
+
+    def _publish_replace(self, name: str) -> None:
+        with self._publish_lock:
+            current = self._frame_ttl(name)
+            if current is None:
+                return
+            frame, version, ttl = current
+            seq = self.log.append(deltalog.REPLACE, name, frame, ttl=ttl)
+            self.log.note_barrier(name, seq)
+            self._published[name] = (version, _digest(frame))
+
+    def _publish_delete(self, name: str) -> None:
+        with self._publish_lock:
+            seq = self.log.append(deltalog.DELETE, name)
+            self.log.note_barrier(name, seq)
+            self._published.pop(name, None)
+
+    def _publish_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._flush_dirty()
+
+    def _flush_dirty(self) -> None:
+        with self._dirty_lock:
+            names = sorted(self._dirty)
+            self._dirty.clear()
+        for name in names:
+            try:
+                self._publish_merge(name)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Stop the publisher, flush pending frames, release the log."""
+        self._stop.set()
+        if self._publisher is not None:
+            self._publisher.join(timeout=5)
+            self._publisher = None
+        self._flush_dirty()
+        self.log.close()
+
+
+def _parts(path: str) -> List[str]:
+    return [p for p in path.split("?", 1)[0].split("/") if p]
+
+
+# --------------------------------------------------------------------------
+# Worker process
+
+
+class _WorkerHandler(F0ServiceHandler):
+    """Worker-side handler: bounded keep-alive idle so drains finish."""
+
+    timeout = _DRAIN_TIMEOUT
+
+
+class _WorkerServer(F0Server):
+    """An :class:`F0Server` that can share a port (``SO_REUSEPORT``) or
+    skip binding entirely (fd-passing mode serves inherited sockets)."""
+
+    def __init__(self, address: Address, router, verbose: bool = False,
+                 reuseport: bool = False, bind: bool = True) -> None:
+        self._reuseport = reuseport
+        self._bind = bind
+        super().__init__(address, router=router, verbose=verbose)
+        self.RequestHandlerClass = _WorkerHandler
+        if not bind:
+            self.server_name = address[0] or "localhost"
+            self.server_port = address[1]
+
+    def server_bind(self) -> None:
+        """Bind with ``SO_REUSEPORT`` set, or not at all."""
+        if not self._bind:
+            return
+        if self._reuseport:
+            self.socket.setsockopt(socket.SOL_SOCKET,
+                                   socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+    def server_activate(self) -> None:
+        """Listen only when this worker bound its own socket."""
+        if self._bind:
+            super().server_activate()
+
+
+def _worker_main(worker_id: int, address: Address, router, procs: int,
+                 mode: str, log_dir: str, counter, ready_fd: int,
+                 channels, listener, verbose: bool,
+                 interval: float) -> None:
+    """One forked worker: serve the inherited router copy until SIGTERM,
+    then drain in-flight requests, flush pending deltas, and exit 0."""
+    stop_event = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop_event.set())
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # Parent owns Ctrl-C.
+    if listener is not None:
+        listener.close()  # The parent's; keeping it would pin the port.
+    own_channel = None
+    for i, (parent_end, child_end) in enumerate(channels or ()):
+        parent_end.close()
+        if i == worker_id:
+            own_channel = child_end
+        else:
+            child_end.close()  # A held copy would mask peers' EOF.
+    log = DeltaLog(log_dir, worker_id=worker_id, counter=counter,
+                   peers=procs)
+    delta_router = DeltaRouter(router, log, interval=interval)
+    server = _WorkerServer(address, router=delta_router, verbose=verbose,
+                           reuseport=(mode == "reuseport"),
+                           bind=(mode == "reuseport"))
+    try:
+        if mode == "reuseport":
+            thread = threading.Thread(target=server.serve_forever,
+                                      name="f0-worker-accept", daemon=True)
+            thread.start()
+            os.write(ready_fd, b"R")
+            os.close(ready_fd)
+            stop_event.wait()
+            server.shutdown()
+            thread.join(timeout=10)
+        else:
+            os.write(ready_fd, b"R")
+            os.close(ready_fd)
+            own_channel.settimeout(0.5)
+            while not stop_event.is_set():
+                try:
+                    msg, fds, _, _ = socket.recv_fds(own_channel, 1, 1)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not msg and not fds:
+                    break  # Parent closed the channel: shutting down.
+                for fd in fds:
+                    conn = socket.socket(fileno=fd)
+                    try:
+                        peer = conn.getpeername()
+                    except OSError:
+                        peer = ("", 0)
+                    server.process_request(conn, peer)
+        server.server_close()  # Joins in-flight handler threads (drain).
+    finally:
+        delta_router.close()  # Flush unpublished frames for the fold.
+
+
+# --------------------------------------------------------------------------
+# Parent orchestration
+
+
+class MultiprocFrontend:
+    """Pre-fork multi-process front end (see module doc).
+
+    Args:
+        address: ``(host, port)`` to serve; port 0 picks an ephemeral
+            port shared by every worker.
+        router: the router to serve.  Each worker runs its
+            fork-inherited copy; the parent's copy receives the final
+            fold on :meth:`stop` (and lazily whenever :attr:`store` is
+            read), so snapshot-on-exit covers every worker's writes.
+        verbose: per-request log lines from the workers.
+        procs: worker count; ``None`` resolves like ``REPRO_PROCS``
+            (explicit > override > env > default), ``0`` = all cores.
+        mode: ``"reuseport"`` / ``"fdpass"`` / ``None`` to pick
+            ``reuseport`` when the platform supports it.
+        delta_interval: see :class:`DeltaRouter`.
+        delta_dir: shared delta-log directory (a private temp dir by
+            default, removed on :meth:`stop`).
+
+    Raises:
+        ReproError: unusable mode, bad ``procs``, or no ``fork``.
+    """
+
+    def __init__(self, address: Address, router, verbose: bool = False,
+                 procs: Optional[int] = None, mode: Optional[str] = None,
+                 delta_interval: Optional[float] = None,
+                 delta_dir: Optional[str] = None) -> None:
+        from repro.service.frontends import resolve_procs
+
+        self.router = router
+        self.verbose = verbose
+        self._address = address
+        resolved = resolve_procs(procs)
+        self.procs = resolved if resolved > 0 else available_workers()
+        if mode is None:
+            mode = "reuseport" if hasattr(socket, "SO_REUSEPORT") \
+                else "fdpass"
+        if mode not in ("reuseport", "fdpass"):
+            raise ReproError(
+                f"unknown multiproc mode {mode!r}; use 'reuseport' or "
+                "'fdpass'")
+        if mode == "reuseport" and not hasattr(socket, "SO_REUSEPORT"):
+            raise ReproError("this platform has no SO_REUSEPORT; use "
+                             "mode='fdpass'")
+        if mode == "fdpass" and not hasattr(socket, "send_fds"):
+            raise ReproError("this platform cannot pass sockets between "
+                             "processes (socket.send_fds missing)")
+        self.mode = mode
+        self.delta_interval = delta_interval or 0.0
+        if self.delta_interval < 0:
+            raise ReproError("delta_interval must be >= 0")
+        self._delta_dir = delta_dir
+        self._own_delta_dir = False
+        self._children: List[multiprocessing.process.BaseProcess] = []
+        self._placeholder: Optional[socket.socket] = None
+        self._listener: Optional[socket.socket] = None
+        self._channels: List[Tuple[socket.socket, socket.socket]] = []
+        self._acceptor: Optional[threading.Thread] = None
+        self._reader: Optional[DeltaLog] = None
+        self._port: Optional[int] = None
+        self._started = False
+
+    # -- contract ----------------------------------------------------------
+
+    @property
+    def server_port(self) -> int:
+        """The bound port (meaningful once started)."""
+        if self._port is None:
+            raise ReproError("front end not started")
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        host = self._address[0]
+        if host in ("0.0.0.0", "::", ""):
+            host = "127.0.0.1"
+        return f"http://{host}:{self.server_port}"
+
+    @property
+    def store(self):
+        """The parent's store copy, with workers' published deltas
+        folded in -- a point-in-time merged view while the fleet runs,
+        the final converged state after :meth:`stop`."""
+        backing = getattr(self.router, "store", None)
+        if backing is not None and self._reader is not None:
+            try:
+                self._reader.fold_into(backing, include_own=True)
+            except OSError:
+                pass
+        return backing
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start_background(self) -> "MultiprocFrontend":
+        """Reserve the port, fork the workers, wait until all serve."""
+        if self._started:
+            raise ReproError("server already started")
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            raise ReproError(
+                "the multiproc front end needs the 'fork' start method "
+                "(unavailable on this platform); use --frontend "
+                "threading or asyncio")
+        self._started = True
+        host, port = self._address
+        if self._delta_dir is None:
+            self._delta_dir = tempfile.mkdtemp(prefix="repro-deltas-")
+            self._own_delta_dir = True
+        else:
+            os.makedirs(self._delta_dir, exist_ok=True)
+        counter = ctx.Value("Q", 0)
+        if self.mode == "reuseport":
+            placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            placeholder.setsockopt(socket.SOL_SOCKET,
+                                   socket.SO_REUSEADDR, 1)
+            placeholder.setsockopt(socket.SOL_SOCKET,
+                                   socket.SO_REUSEPORT, 1)
+            placeholder.bind((host, port))
+            self._placeholder = placeholder
+            self._port = placeholder.getsockname()[1]
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((host, port))
+            listener.listen(128)
+            self._listener = listener
+            self._port = listener.getsockname()[1]
+            self._channels = [socket.socketpair()
+                              for _ in range(self.procs)]
+        ready_r, ready_w = os.pipe()
+        try:
+            worker_address = (host, self._port)
+            for i in range(self.procs):
+                child = ctx.Process(
+                    target=_worker_main,
+                    args=(i, worker_address, self.router, self.procs,
+                          self.mode, self._delta_dir, counter, ready_w,
+                          self._channels, self._listener, self.verbose,
+                          self.delta_interval),
+                    name=f"f0-multiproc-{i}", daemon=True)
+                child.start()
+                self._children.append(child)
+            os.close(ready_w)
+            ready_w = -1
+            self._await_ready(ready_r)
+        except BaseException:
+            self.stop()
+            raise
+        finally:
+            if ready_w >= 0:
+                os.close(ready_w)
+            os.close(ready_r)
+        for _, child_end in self._channels:
+            child_end.close()
+        if self.mode == "fdpass":
+            self._acceptor = threading.Thread(target=self._accept_loop,
+                                              name="f0-fd-acceptor",
+                                              daemon=True)
+            self._acceptor.start()
+        self._reader = DeltaLog(self._delta_dir, worker_id=None,
+                                counter=counter, peers=self.procs)
+        return self
+
+    def _await_ready(self, ready_r: int, timeout: float = 20.0) -> None:
+        """Block until every worker wrote its ready byte."""
+        deadline = time.monotonic() + timeout
+        acks = 0
+        while acks < self.procs:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ReproError(
+                    f"multiproc workers failed to start in time "
+                    f"({acks}/{self.procs} ready)")
+            readable, _, _ = select.select([ready_r], [], [],
+                                           min(remaining, 0.2))
+            if readable:
+                data = os.read(ready_r, self.procs - acks)
+                if not data:
+                    raise ReproError("multiproc startup pipe closed early")
+                acks += len(data)
+                continue
+            for child in self._children:
+                if not child.is_alive():
+                    raise ReproError(
+                        f"multiproc worker {child.name} died during "
+                        f"startup (exit code {child.exitcode})")
+
+    def _accept_loop(self) -> None:
+        """fdpass mode: accept and hand sockets to workers round-robin."""
+        index = 0
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # Listener closed: shutting down.
+            channel = self._channels[index % self.procs][0]
+            index += 1
+            try:
+                socket.send_fds(channel, [b"c"], [conn.fileno()])
+            except OSError:
+                pass  # Worker died; the client sees a reset.
+            conn.close()  # The worker holds its own duplicate now.
+
+    def stop(self) -> None:
+        """Drain the fleet, fold every worker's deltas, release the port.
+
+        After this returns, ``router.store`` (the parent copy) holds
+        the merged union of every worker's acknowledged writes -- the
+        caller (``serve``) snapshots exactly once from it.
+        """
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5)
+            self._acceptor = None
+        for parent_end, _ in self._channels:
+            try:
+                parent_end.close()  # EOF tells the worker to drain.
+            except OSError:
+                pass
+        for child in self._children:
+            if child.is_alive():
+                child.terminate()  # SIGTERM: graceful drain + flush.
+        for child in self._children:
+            child.join(timeout=15)
+            if child.is_alive():
+                child.kill()
+                child.join(timeout=5)
+        self._children = []
+        self._channels = []
+        self._listener = None
+        backing = getattr(self.router, "store", None)
+        if backing is not None and self._reader is not None:
+            try:
+                self._reader.fold_into(backing, include_own=True)
+            except OSError:
+                pass
+        if self._placeholder is not None:
+            try:
+                self._placeholder.close()
+            except OSError:
+                pass
+            self._placeholder = None
+        if self._own_delta_dir and self._delta_dir is not None:
+            shutil.rmtree(self._delta_dir, ignore_errors=True)
+            self._own_delta_dir = False
+        self._reader = None
+
+
+__all__ = ["DeltaRouter", "MultiprocFrontend"]

@@ -11,7 +11,9 @@ the same ``handle`` contract) a multi-node gateway.
 
 Wire protocol (all JSON unless noted)::
 
-    GET    /healthz                       liveness + sketch count
+    GET    /healthz                       liveness + sketch count +
+                                          view_metrics (warm-read
+                                          instrumentation)
     GET    /v1/sketches                   list live sketch names
     POST   /v1/sketches                   create  {name, kind,
                                           universe_bits, eps?, delta?,
@@ -189,8 +191,19 @@ class Router:
         path = path.split("?", 1)[0].rstrip("/")
         parts = [p for p in path.split("/") if p]
         if parts == ["healthz"] and method == "GET":
-            return Response.json(200, {"status": "ok",
-                                       "sketches": len(self.store)})
+            # view_metrics exposes the serving process's cached-read
+            # counters -- under the multiproc front end that is *one
+            # worker's* view, which is exactly what a warm-path probe
+            # over a single keep-alive connection wants to watch.
+            from repro.store.store import VIEW_METRICS
+            return Response.json(200, {
+                "status": "ok",
+                "sketches": len(self.store),
+                "view_metrics": {
+                    "hits": VIEW_METRICS.hits,
+                    "builds": VIEW_METRICS.builds,
+                    "serializations": VIEW_METRICS.serializations,
+                }})
         if not parts or parts[0] != "v1":
             raise RouteError(404, f"unknown path {path!r}")
         rest = parts[1:]

@@ -201,7 +201,8 @@ def serve(host: str = "127.0.0.1", port: int = 8080,
           restore: bool = False, verbose: bool = True,
           frontend: str = "threading",
           snapshot_on_exit: Optional[str] = None,
-          router=None) -> None:
+          router=None, procs: Optional[int] = None,
+          delta_interval: Optional[float] = None) -> None:
     """Run the service in the foreground (the ``repro serve`` verb).
 
     SIGTERM and SIGINT both shut the service down gracefully: in-flight
@@ -219,11 +220,20 @@ def serve(host: str = "127.0.0.1", port: int = 8080,
             it).
         verbose: per-request log lines to stderr (threading front end).
         frontend: registered front-end name (``threading`` /
-            ``asyncio``; see :mod:`repro.service.frontends`).
+            ``asyncio`` / ``multiproc``; see
+            :mod:`repro.service.frontends`).
         snapshot_on_exit: snapshot the store here after a graceful
-            shutdown signal.
+            shutdown signal.  With the multiproc front end this is
+            still exactly one snapshot: the shutdown fold merges every
+            worker's deltas into this process's store copy first.
         router: serve an existing router (cluster gateway mode) instead
             of building one around ``store``.
+        procs: worker count for the multiproc front end (``None``
+            follows the ``REPRO_PROCS`` resolution order; ignored by
+            single-process front ends).
+        delta_interval: multiproc publish coalescing interval in
+            seconds (``None``/0 publishes each acknowledged mutation
+            immediately).
 
     Raises:
         ReproError: ``restore=True`` without a ``snapshot_path``, or an
@@ -234,7 +244,8 @@ def serve(host: str = "127.0.0.1", port: int = 8080,
     if router is None:
         router = Router(store=store, snapshot_path=snapshot_path)
     server = create_frontend(frontend, (host, port), router,
-                             verbose=verbose)
+                             verbose=verbose, procs=procs,
+                             delta_interval=delta_interval)
     backing = getattr(router, "store", None)
     if restore:
         if not snapshot_path:

@@ -30,6 +30,7 @@ from repro.store.serialize import (
     loads_typed,
     serialized_size,
 )
+from repro.store.deltalog import DeltaLog, SeqCounter
 from repro.store.factory import SKETCH_KINDS, build_sketch
 from repro.store.store import (
     VIEW_METRICS,
@@ -42,9 +43,11 @@ from repro.store.store import (
 
 __all__ = [
     "CachedView",
+    "DeltaLog",
     "FORMAT_VERSION",
     "MAGIC",
     "SKETCH_KINDS",
+    "SeqCounter",
     "SketchConflictError",
     "SketchStore",
     "StoreFormatError",

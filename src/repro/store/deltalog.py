@@ -1,0 +1,285 @@
+"""An append-only frame-delta log for shared-nothing store replicas.
+
+The multi-process front end (:mod:`repro.service.multiproc`) runs one
+:class:`~repro.store.store.SketchStore` per worker process.  That only
+works because the sketches are *mergeable*: any worker's view folded
+into any other's converges to the union, bit-identically, regardless of
+order (merge is associative, commutative and idempotent).  This module
+is the channel the workers converge through.
+
+Each writer owns one append-only file (``delta-<id>.log``) in a shared
+directory and appends a *record* per published change; every reader
+keeps a per-file offset and, on :meth:`DeltaLog.poll`, picks up exactly
+the records appended since its last look.  Appends are single ``write``
+syscalls of one fully-built record, so readers never observe a torn
+record body -- at worst a truncated *tail*, which the parser leaves in
+place for the next poll (the offset only ever advances past complete
+records).
+
+Record kinds
+------------
+
+``MERGE``
+    The writer's full local state for one name, as a wire frame of
+    :mod:`repro.store.serialize`.  Folding it is ``put(merge=True)``:
+    idempotent, so re-reading a log or merging a frame that is already
+    a subset is harmless.
+``REPLACE``
+    A create-or-replace (the PUT upload endpoint, restore).  Folding it
+    overwrites the local entry and *barriers* the name: any MERGE
+    record with a smaller global sequence number carries pre-replace
+    state and is skipped.
+``DELETE``
+    A tombstone; also barriers the name, so stale merges cannot
+    resurrect deleted content.
+
+Records carry a global sequence number drawn from one shared counter
+(a fork-inherited ``multiprocessing.Value`` across processes, a plain
+lock-guarded int within one), so every reader applies REPLACE/DELETE
+barriers in the same total order and replicas converge to the same
+registry whatever the interleaving.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.store.serialize import StoreFormatError, loads
+from repro.store.store import SketchNotFoundError, SketchStore
+
+#: Record kinds (see module doc).
+MERGE, REPLACE, DELETE = 0, 1, 2
+
+#: Fixed-size record header: kind, global seq, name length, frame
+#: length, ttl (NaN = no expiry).  Little-endian, no padding.
+_HEADER = struct.Struct("<BQHId")
+
+_NAN = float("nan")
+
+
+class DeltaRecord(NamedTuple):
+    """One parsed log record."""
+
+    seq: int
+    kind: int
+    name: str
+    frame: bytes
+    ttl: Optional[float]
+
+
+class SeqCounter:
+    """A lock-guarded in-process sequence counter.
+
+    The API (``get_lock()`` + ``.value``) deliberately matches
+    ``multiprocessing.Value("Q")`` so :class:`DeltaLog` takes either: the
+    multi-process front end passes a fork-inherited shared value, unit
+    tests and single-process embedders get this local stand-in.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def get_lock(self) -> threading.Lock:
+        """The lock guarding ``value``."""
+        return self._lock
+
+
+class DeltaLog:
+    """One replica's handle on a shared delta-log directory.
+
+    Args:
+        directory: the shared log directory (must exist).
+        worker_id: this replica's writer slot; ``None`` makes the
+            handle read-only (the parent process folding all workers).
+        counter: the shared sequence counter (``multiprocessing.Value``
+            or :class:`SeqCounter`); a fresh local one by default.
+        peers: when given, poll exactly the writer slots
+            ``0..peers-1`` instead of listing the directory -- the
+            fixed-fleet fast path (a warm poll is one ``stat`` per
+            peer file, no allocation beyond the result list).
+    """
+
+    def __init__(self, directory: str, worker_id: Optional[int] = None,
+                 counter=None, peers: Optional[int] = None) -> None:
+        self.directory = directory
+        self.worker_id = worker_id
+        self._counter = counter if counter is not None else SeqCounter()
+        self._peers = peers
+        self._append_fd: Optional[int] = None
+        self._offsets: Dict[str, int] = {}
+        self._barrier: Dict[str, int] = {}
+        #: Fold bookkeeping: records applied / skipped (stale or bad).
+        self.applied = 0
+        self.skipped = 0
+
+    # -- paths -------------------------------------------------------------
+
+    @staticmethod
+    def filename(worker_id: int) -> str:
+        """The log file name for one writer slot."""
+        return f"delta-{worker_id:04d}.log"
+
+    def _path(self, worker_id: int) -> str:
+        return os.path.join(self.directory, self.filename(worker_id))
+
+    def _peer_files(self) -> List[str]:
+        if self._peers is not None:
+            return [self.filename(i) for i in range(self._peers)]
+        return sorted(f for f in os.listdir(self.directory)
+                      if f.startswith("delta-") and f.endswith(".log"))
+
+    # -- writing -----------------------------------------------------------
+
+    def next_seq(self) -> int:
+        """Draw the next global sequence number."""
+        with self._counter.get_lock():
+            seq = self._counter.value
+            self._counter.value = seq + 1
+        return seq
+
+    def append(self, kind: int, name: str, frame: bytes = b"",
+               ttl: Optional[float] = None) -> int:
+        """Append one record; returns its global sequence number.
+
+        The record is built fully in memory and written with a single
+        ``os.write`` on an ``O_APPEND`` descriptor, so concurrent
+        writers to *different* files and readers of this one never see
+        interleaved or torn record bodies.
+
+        Raises:
+            ReproError: this handle is read-only (no ``worker_id``).
+        """
+        if self.worker_id is None:
+            raise ReproError("read-only DeltaLog handle cannot append")
+        if self._append_fd is None:
+            self._append_fd = os.open(
+                self._path(self.worker_id),
+                os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        encoded = name.encode("utf-8")
+        seq = self.next_seq()
+        record = _HEADER.pack(kind, seq, len(encoded), len(frame),
+                              _NAN if ttl is None else ttl) \
+            + encoded + frame
+        os.write(self._append_fd, record)
+        return seq
+
+    def note_barrier(self, name: str, seq: int) -> None:
+        """Record a locally-originated REPLACE/DELETE barrier, so this
+        replica skips peers' stale MERGE records exactly like replicas
+        that learned of the barrier by folding it."""
+        if seq > self._barrier.get(name, -1):
+            self._barrier[name] = seq
+
+    # -- reading -----------------------------------------------------------
+
+    def poll(self, include_own: bool = False) -> List[DeltaRecord]:
+        """Records appended since the last poll, sorted by global seq.
+
+        Writers normally exclude their own file (their local store is
+        already ahead of it); pass ``include_own=True`` to replay
+        everything -- idempotent merge semantics make that safe, which
+        is how a fresh process recovers a fleet's state from the logs
+        alone.  A read-only handle always reads every file.
+        """
+        own = None if include_own or self.worker_id is None \
+            else self.filename(self.worker_id)
+        records: List[DeltaRecord] = []
+        for fname in self._peer_files():
+            if fname == own:
+                continue
+            path = os.path.join(self.directory, fname)
+            offset = self._offsets.get(fname, 0)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue  # Not created yet (worker has published nothing).
+            if size <= offset:
+                continue
+            with open(path, "rb") as f:
+                f.seek(offset)
+                data = f.read(size - offset)
+            consumed = self._parse(data, records)
+            self._offsets[fname] = offset + consumed
+        records.sort(key=lambda r: r.seq)
+        return records
+
+    @staticmethod
+    def _parse(data: bytes, out: List[DeltaRecord]) -> int:
+        """Parse complete records from ``data`` into ``out``; returns the
+        bytes consumed (a truncated tail is left for the next poll)."""
+        pos = 0
+        header = _HEADER.size
+        while pos + header <= len(data):
+            kind, seq, name_len, frame_len, ttl = \
+                _HEADER.unpack_from(data, pos)
+            end = pos + header + name_len + frame_len
+            if end > len(data):
+                break
+            name = data[pos + header:pos + header + name_len] \
+                .decode("utf-8", "replace")
+            frame = data[pos + header + name_len:end]
+            out.append(DeltaRecord(
+                seq, kind, name, frame, None if ttl != ttl else ttl))
+            pos = end
+        return pos
+
+    # -- folding -----------------------------------------------------------
+
+    def fold_into(self, store: SketchStore,
+                  include_own: bool = False) -> Tuple[int, int]:
+        """Apply every new record to ``store``; returns
+        ``(applied, skipped)`` counts for this call.
+
+        Records apply in global-sequence order.  A MERGE older than the
+        newest REPLACE/DELETE barrier seen for its name is *stale*
+        (pre-replace state) and skipped; so is any record whose frame
+        fails to decode or merge -- one bad record must never wedge the
+        reconciliation path, so failures count rather than raise.
+        """
+        applied = skipped = 0
+        for record in self.poll(include_own=include_own):
+            barrier = self._barrier.get(record.name, -1)
+            try:
+                if record.kind == DELETE:
+                    self.note_barrier(record.name, record.seq)
+                    try:
+                        store.delete(record.name)
+                    except SketchNotFoundError:
+                        pass
+                elif record.kind == REPLACE:
+                    self.note_barrier(record.name, record.seq)
+                    store.put(record.name, loads(record.frame),
+                              ttl=record.ttl)
+                elif record.seq > barrier:  # MERGE, not stale.
+                    store.put(record.name, loads(record.frame),
+                              ttl=record.ttl, merge=True)
+                else:
+                    skipped += 1
+                    continue
+                applied += 1
+            except (ReproError, StoreFormatError, ValueError):
+                skipped += 1
+        self.applied += applied
+        self.skipped += skipped
+        return applied, skipped
+
+    def close(self) -> None:
+        """Release the append descriptor (reader state is kept)."""
+        if self._append_fd is not None:
+            os.close(self._append_fd)
+            self._append_fd = None
+
+
+__all__ = [
+    "DELETE",
+    "DeltaLog",
+    "DeltaRecord",
+    "MERGE",
+    "REPLACE",
+    "SeqCounter",
+]

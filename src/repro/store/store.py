@@ -363,6 +363,19 @@ class SketchStore:
         makes this a lock-free O(1) read)."""
         return self._view(self._entry(name)).estimate
 
+    def entry_version(self, name: str) -> int:
+        """The named entry's mutation counter (bumped by every write).
+
+        This is the same counter the cached-view read path is memoised
+        against; change-capture layers (the multi-process delta log)
+        compare it against a last-published mark to detect dirty
+        entries without touching the sketch.
+
+        Raises:
+            SketchNotFoundError: no live sketch under ``name``.
+        """
+        return self._entry(name).version
+
     def info(self, name: str) -> Dict[str, object]:
         """Metadata for one entry: kind, estimate, footprints, stamps."""
         entry = self._entry(name)

@@ -209,12 +209,86 @@ class TestServiceVerbs:
                   "--create"])
         assert "universe-bits" in str(exc.value.code)
 
+    def test_push_parallel_workers_matches_serial(self, server, tmp_path,
+                                                  capsys):
+        items = [random.Random(7).getrandbits(12) for _ in range(800)]
+        path = tmp_path / "items.txt"
+        path.write_text("\n".join(str(x) for x in items))
+        create = ["--create", "--universe-bits", "12", "--eps", "0.5",
+                  "--thresh-constant", "24", "--repetitions-constant", "5"]
+        assert main(["push", "serial", str(path), "--server", server.url]
+                    + create) == 0
+        serial_out = capsys.readouterr()
+        assert main(["push", "fanned", str(path), "--server", server.url,
+                     "--workers", "2"] + create) == 0
+        parallel_out = capsys.readouterr()
+        # Sketch ingestion is order-independent: the sharded parallel
+        # push must land on the same estimate as the serial one, and
+        # both report throughput on stderr without polluting stdout.
+        assert parallel_out.out.strip() == serial_out.out.strip()
+        for captured in (serial_out, parallel_out):
+            assert "items/s" in captured.err
+            assert "pushed 800 items" in captured.err
+
+    def test_rebalance_verb_moves_frames(self, capsys):
+        from repro.service import F0Server, ServiceClient
+
+        nodes = [F0Server(("127.0.0.1", 0)).start_background()
+                 for _ in range(2)]
+        try:
+            seed_client = ServiceClient(nodes[0].url)
+            for name in ("a", "b", "c"):
+                seed_client.create(name, kind="minimum", universe_bits=10,
+                                   eps=0.7, thresh_constant=12,
+                                   repetitions_constant=3, seed=4)
+                seed_client.ingest(name, list(range(50)))
+            code = main(["rebalance", "--from", nodes[0].url,
+                         "--to", f"{nodes[0].url},{nodes[1].url}",
+                         "--replication", "1"])
+            assert code == 0
+            captured = capsys.readouterr()
+            assert "moved" in captured.out
+            assert "3 sketch(es)" in captured.out
+        finally:
+            for node in nodes:
+                node.stop()
+
+    def test_rebalance_needs_urls(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["rebalance", "--from", " ", "--to", "http://h:1"])
+        assert "comma-separated" in str(exc.value.code)
+
 
 class TestServeFlags:
-    def test_unknown_frontend_friendly_error(self):
+    def test_unknown_frontend_friendly_error(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["serve", "--frontend", "bogus"])
-        assert "repro frontends" in str(exc.value.code)
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        err = capsys.readouterr().err
+        assert "unknown front end 'bogus'" in err
+        assert "repro frontends" in err
+
+    def test_procs_negative_friendly_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--frontend", "multiproc", "--procs", "-2"])
+        assert exc.value.code == 2
+        assert "procs must be >= 0" in capsys.readouterr().err
+
+    def test_procs_non_integer_friendly_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--frontend", "multiproc", "--procs", "two"])
+        assert exc.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_procs_rejects_non_multiproc_frontend(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--frontend", "threading", "--procs", "2"])
+        assert "--procs only applies" in str(exc.value.code)
+
+    def test_delta_interval_rejects_non_multiproc_frontend(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--delta-interval", "0.1"])
+        assert "--delta-interval only applies" in str(exc.value.code)
 
     def test_cluster_needs_urls(self):
         with pytest.raises(SystemExit) as exc:
@@ -233,6 +307,83 @@ class TestServeFlags:
         out = capsys.readouterr().out
         assert "threading (default):" in out
         assert "asyncio:" in out
+        assert "multiproc:" in out
+
+
+class TestEnvResolution:
+    """REPRO_FRONTEND / REPRO_PROCS / REPRO_KERNEL resolve the same way:
+    explicit argument > process-wide override > environment > default."""
+
+    def test_frontend_resolution_order(self, monkeypatch):
+        from repro.service.frontends import (
+            DEFAULT_FRONTEND,
+            resolve_frontend_name,
+            set_default_frontend,
+        )
+
+        monkeypatch.delenv("REPRO_FRONTEND", raising=False)
+        assert resolve_frontend_name(None) == DEFAULT_FRONTEND
+        monkeypatch.setenv("REPRO_FRONTEND", "asyncio")
+        assert resolve_frontend_name(None) == "asyncio"
+        set_default_frontend("multiproc")
+        try:
+            assert resolve_frontend_name(None) == "multiproc"
+            assert resolve_frontend_name("threading") == "threading"
+        finally:
+            set_default_frontend(None)
+
+    def test_procs_resolution_order(self, monkeypatch):
+        from repro.service.frontends import (
+            DEFAULT_PROCS,
+            resolve_procs,
+            set_default_procs,
+        )
+
+        monkeypatch.delenv("REPRO_PROCS", raising=False)
+        assert resolve_procs(None) == DEFAULT_PROCS
+        monkeypatch.setenv("REPRO_PROCS", "6")
+        assert resolve_procs(None) == 6
+        set_default_procs(3)
+        try:
+            assert resolve_procs(None) == 3
+            assert resolve_procs(1) == 1
+        finally:
+            set_default_procs(None)
+
+    def test_kernel_resolution_order(self, monkeypatch):
+        from repro.kernels import (
+            DEFAULT_KERNEL,
+            resolve_kernel_name,
+            set_default_kernel,
+        )
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel_name(None) == DEFAULT_KERNEL
+        monkeypatch.setenv("REPRO_KERNEL", "numba")
+        assert resolve_kernel_name(None) == "numba"
+        set_default_kernel("python")
+        try:
+            assert resolve_kernel_name(None) == "python"
+            assert resolve_kernel_name("numba") == "numba"
+        finally:
+            set_default_kernel(None)
+
+    def test_bad_frontend_env_friendly_serve_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FRONTEND", "bogus")
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--port", "0", "--quiet"])
+        message = str(exc.value.code)
+        assert "REPRO_FRONTEND" in message
+        assert "unknown front end" in message
+
+    def test_bad_procs_env_friendly_serve_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCS", "many")
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--frontend", "multiproc", "--port", "0",
+                  "--quiet"])
+        message = str(exc.value.code)
+        assert "REPRO_PROCS" in message
+        assert "non-negative integer" in message
 
 
 class TestF0Command:

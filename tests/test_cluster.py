@@ -282,3 +282,114 @@ class TestClusterRouter:
             assert fetched.estimate() == reference.estimate()
         finally:
             gateway.stop()
+
+
+class TestRebalance:
+    NAMES = [f"metric-{i}" for i in range(12)]
+
+    def test_plan_lists_only_ownership_changes(self):
+        from repro.distributed.cluster import plan_rebalance
+
+        old = ["http://a:1", "http://b:1"]
+        new = old + ["http://c:1"]
+        moves = plan_rebalance(self.NAMES, old, new, replication=2)
+        assert moves == plan_rebalance(self.NAMES, old, new,
+                                       replication=2)  # Deterministic.
+        assert moves, "adding a node must move some keys"
+        assert len(moves) < len(self.NAMES), \
+            "consistent hashing must leave most keys in place"
+        for move in moves:
+            # Only nodes that *gained* the name appear as targets, and
+            # every frame comes from a node that held it before.
+            assert move.targets
+            assert set(move.targets) <= set(new) - set(move.sources) \
+                or set(move.targets) <= set(new)
+            assert set(move.sources) <= set(old)
+            ring_old = HashRing(old)
+            ring_new = HashRing(new)
+            assert set(move.targets) == (
+                set(ring_new.nodes_for(move.name, 2))
+                - set(ring_old.nodes_for(move.name, 2)))
+        # An unchanged topology plans no movement at all.
+        assert plan_rebalance(self.NAMES, old, old, replication=2) == []
+
+    def _populate(self, nodes):
+        cluster = ClusterClient([n.url for n in nodes], replication=2,
+                                timeout=5.0)
+        for index, name in enumerate(self.NAMES):
+            cluster.create(name, kind="minimum", universe_bits=10,
+                           seed=4, **CREATE_KWARGS)
+            cluster.ingest(name, stream(10, 300, seed=index))
+        return {name: cluster.estimate(name) for name in self.NAMES}
+
+    def test_grow_two_to_three_moves_only_changed_frames(self, two_nodes):
+        from repro.distributed.cluster import plan_rebalance, rebalance
+
+        before = self._populate(two_nodes)
+        third = F0Server(("127.0.0.1", 0)).start_background()
+        try:
+            old = [n.url for n in two_nodes]
+            new = old + [third.url]
+            plan = plan_rebalance(self.NAMES, old, new, replication=2)
+            report = rebalance(old, new, replication=2)
+
+            # The frame-count assertion: exactly one frame per
+            # (name, gaining node) pair crossed the wire -- untouched
+            # names were never re-streamed.
+            assert report["moved_frames"] \
+                == sum(len(m.targets) for m in plan)
+            assert report["names"] == len(self.NAMES)
+            assert report["unchanged"] == len(self.NAMES) - len(plan)
+            assert sorted(m["name"] for m in report["moves"]) \
+                == sorted(m.name for m in plan)
+            third_store = ServiceClient(third.url)
+            moved_names = {m.name for m in plan
+                           if third.url in m.targets}
+            assert set(third_store.sketches()) == moved_names
+
+            # Post-rebalance reads through the new topology are
+            # bit-identical to the pre-rebalance estimates.
+            grown = ClusterClient(new, replication=2, timeout=5.0)
+            for name in self.NAMES:
+                assert grown.estimate(name) == before[name], name
+        finally:
+            third.stop()
+
+    def test_dry_run_moves_nothing(self, two_nodes):
+        from repro.distributed.cluster import rebalance
+
+        self._populate(two_nodes)
+        third = F0Server(("127.0.0.1", 0)).start_background()
+        try:
+            old = [n.url for n in two_nodes]
+            report = rebalance(old, old + [third.url], replication=2,
+                               dry_run=True)
+            assert report["dry_run"] is True
+            assert report["moved_frames"] > 0  # It *would* move frames.
+            assert ServiceClient(third.url).sketches() == []
+        finally:
+            third.stop()
+
+    def test_prune_deletes_released_replicas(self, two_nodes):
+        from repro.distributed.cluster import plan_rebalance, rebalance
+
+        before = self._populate(two_nodes)
+        third = F0Server(("127.0.0.1", 0)).start_background()
+        try:
+            old = [n.url for n in two_nodes]
+            new = old + [third.url]
+            plan = plan_rebalance(self.NAMES, old, new, replication=2)
+            report = rebalance(old, new, replication=2, prune=True)
+            released = sum(len(m.releases) for m in plan)
+            assert report["pruned"] == released
+            for move in plan:
+                for node in move.releases:
+                    with pytest.raises(ServiceError):
+                        ServiceClient(node).estimate(move.name)
+            # Pruning must not cost correctness: the surviving replica
+            # set still answers bit-identically.
+            grown = ClusterClient(new, replication=2, timeout=5.0)
+            for name in self.NAMES:
+                assert grown.estimate(name) == before[name], name
+        finally:
+            third.stop()

@@ -82,7 +82,11 @@ class TestRouterEndpoints:
     def test_healthz(self, router):
         reply = router.handle("GET", "/healthz")
         assert reply.status == 200
-        assert reply.json_body() == {"status": "ok", "sketches": 0}
+        body = reply.json_body()
+        assert body["status"] == "ok"
+        assert body["sketches"] == 0
+        assert set(body["view_metrics"]) == \
+            {"hits", "builds", "serializations"}
 
     def test_create_and_list(self, router):
         make_created(router, "a")

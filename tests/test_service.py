@@ -172,6 +172,8 @@ class TestEndpoints:
         assert fetched.estimate() == reference.estimate()
 
     def test_ttl_expires_via_service(self, server, client):
+        if getattr(server, "procs", None):
+            pytest.skip("clock monkeypatch cannot reach forked workers")
         clock = [0.0]
         server.store._clock = lambda: clock[0]
         client.create("ephemeral", kind="exact", ttl=10.0,
@@ -367,6 +369,7 @@ class TestFrontendRegistry:
         names = frontend_names()
         assert "threading" in names
         assert "asyncio" in names
+        assert "multiproc" in names
 
     def test_cli_lists_frontends(self, capsys):
         from repro.cli import main
@@ -434,3 +437,70 @@ class TestGracefulShutdown:
         store = SketchStore()
         assert store.restore(str(snap)) == 1
         assert store.estimate("persisted") == 3.0
+
+    def test_multiproc_sigterm_folds_every_worker_into_one_snapshot(
+            self, tmp_path):
+        """SIGTERM against the pre-fork front end must drain the
+        workers, fold every worker's unfolded deltas, and write exactly
+        one snapshot -- frame-identical to the same items ingested
+        serially.  Loss of any worker's last writes would show up here
+        as a short estimate."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        from repro.store import SketchStore
+        from repro.store.factory import build_sketch
+        from repro.store.serialize import dumps
+        from repro.streaming.base import SketchParams
+
+        snap = tmp_path / "exit.bin"
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--quiet", "--frontend", "multiproc", "--procs", "2",
+             "--snapshot-on-exit", str(snap)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            banner = [None]
+
+            def read_banner():
+                banner[0] = proc.stdout.readline()
+
+            reader = threading.Thread(target=read_banner, daemon=True)
+            reader.start()
+            reader.join(timeout=30)
+            assert banner[0], "service never printed its URL banner"
+            url = re.search(r"http://[0-9.:]+", banner[0]).group(0)
+
+            params = SketchParams(eps=0.7, delta=0.3, thresh_constant=12.0,
+                                  repetitions_constant=3.0)
+            ServiceClient(url).create(
+                "persisted", kind="minimum", universe_bits=10,
+                eps=params.eps, delta=params.delta,
+                thresh_constant=params.thresh_constant,
+                repetitions_constant=params.repetitions_constant, seed=4)
+            # Spread writes over fresh connections so both workers hold
+            # deltas the parent must fold on the way down.
+            batches = [[1, 2, 3], [3, 4], [5, 6, 7], [8]]
+            for batch in batches:
+                ServiceClient(url).ingest("persisted", batch)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        store = SketchStore()
+        assert store.restore(str(snap)) == 1  # Exactly one frame written.
+        reference = build_sketch("minimum", 10, params, seed=4)
+        reference.process_batch([x for batch in batches for x in batch])
+        assert store.estimate("persisted") == reference.estimate()
+        assert store.serialized("persisted") == dumps(reference)
