@@ -27,12 +27,12 @@ Machine-readable record: ``BENCH_E30.json``, each run stamped with
 
 import json
 import multiprocessing
-import os
 import random
 import socket
 import time
 
 from benchmarks.harness import emit, emit_json, format_table
+from repro.parallel import available_workers
 from repro.service import Router, ServiceClient, create_frontend
 from repro.store.factory import build_sketch
 from repro.streaming.base import SketchParams
@@ -63,7 +63,9 @@ SKETCH = "mixed"
 
 def _ops_per_client():
     """Size each run to a few seconds on the host actually running it."""
-    cpus = os.cpu_count() or 1
+    # Affinity-aware: a containerised runner pinned to 2 of 64 cores
+    # must size (and gate) like a 2-CPU host, not a 64-CPU one.
+    cpus = available_workers()
     return 6_000 if cpus >= MIN_GATE_CPUS else 1_200
 
 
@@ -232,7 +234,7 @@ def _serial_reference(ops_per_client):
 
 def test_e30_multiproc(capsys):
     ops_per_client = _ops_per_client()
-    cpus = os.cpu_count() or 1
+    cpus = available_workers()
 
     runs = [_run("threading", 1, ops_per_client)]
     for procs in (1, 2, 4):

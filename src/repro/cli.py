@@ -6,9 +6,11 @@ Examples::
     python -m repro count formula.cnf --oracle bruteforce
     python -m repro count formula.dnf --algorithm minimum --workers 4
     python -m repro count formula.cnf --kernel numba
+    python -m repro count formula.cnf --workers 4 --executor thread
     python -m repro sample formula.dnf --count 5
     python -m repro backends
     python -m repro kernels
+    python -m repro kernels --autopick
     python -m repro f0 items.txt --universe-bits 16 --sketch minimum
     python -m repro f0 items.txt --universe-bits 16 --workers 0
     python -m repro serve --port 8080 --snapshot sketches.bin
@@ -24,12 +26,17 @@ Examples::
 
 ``count`` accepts DIMACS ``p cnf`` and ``p dnf`` files (sniffed from the
 problem line); ``f0`` reads one integer item per line.  ``--workers``
-fans counter repetitions / stream chunks out over a process pool
-(``0`` = all cores) with bit-identical results to serial execution.
+fans counter repetitions / stream chunks out over a worker pool
+(``0`` = all cores) with bit-identical results to serial execution;
+``--executor`` picks the pool backend (``serial``/``thread``/
+``process``/``auto``; the ``REPRO_EXECUTOR`` environment variable sets
+the session default, and ``auto`` reads the kernel's GIL capability or
+a cached calibration -- see ``repro kernels --autopick``).
 ``--oracle`` selects the NP-oracle solver backend from the registry
 (``python -m repro backends`` lists what is installed).  ``--kernel``
 selects the compute kernel driving the solver and hashing inner loops
-(``python -m repro kernels`` lists them; the ``REPRO_KERNEL``
+(``python -m repro kernels`` lists them, along with the executor
+backends and the current auto-pick decision; the ``REPRO_KERNEL``
 environment variable sets the session default).
 
 ``serve`` runs the long-lived sketch service of :mod:`repro.service` --
@@ -70,8 +77,18 @@ from repro.kernels import (
     has_kernel,
     kernel_info,
     kernel_names,
+    resolve_kernel_name,
     set_default_kernel,
 )
+from repro.parallel import (
+    DEFAULT_EXECUTOR,
+    executor_info,
+    executor_names,
+    has_executor,
+    resolve_executor_name,
+    set_default_executor,
+)
+from repro.parallel.registry import ENV_VAR as EXECUTOR_ENV_VAR
 from repro.sat.backends import DEFAULT_BACKEND, backend_info, backend_names
 from repro.store.factory import SKETCH_KINDS
 from repro.streaming.base import (
@@ -165,13 +182,54 @@ def _cmd_backends(args: argparse.Namespace) -> int:
 
 
 def _cmd_kernels(args: argparse.Namespace) -> int:
-    """List the registered compute kernels with availability."""
+    """List compute kernels, executor backends, and the auto-pick."""
+    from repro.common.errors import ReproError
+    from repro.kernels import ENV_VAR as KERNEL_ENV_VAR
+    from repro.kernels.autopick import pick
+
     for name in kernel_names():
         info = kernel_info(name)
         marker = " (default)" if name == DEFAULT_KERNEL else ""
         status = ("" if info.available
                   else f" [unavailable: {info.unavailable_reason}]")
-        print(f"{name}{marker}: {info.description}{status}")
+        gil = " [releases GIL]" if info.releases_gil else ""
+        print(f"{name}{marker}: {info.description}{status}{gil}")
+
+    resolved_kernel = resolve_kernel_name(None)
+    if not has_kernel(resolved_kernel):
+        print(f"{KERNEL_ENV_VAR}={resolved_kernel!r} names an unknown "
+              f"kernel; registered: {', '.join(kernel_names())}")
+        return 1
+
+    print()
+    print(f"executors (--executor on count/f0/push; "
+          f"{EXECUTOR_ENV_VAR} sets the session default):")
+    for name in executor_names():
+        info = executor_info(name)
+        marker = " (default)" if name == DEFAULT_EXECUTOR else ""
+        status = ("" if info.available
+                  else f" [unavailable: {info.unavailable_reason}]")
+        print(f"  {name}{marker}: {info.description}{status}")
+    try:
+        resolved = resolve_executor_name(None)
+    except ReproError as exc:
+        print(str(exc))
+        return 1
+    source = (f"from {EXECUTOR_ENV_VAR}"
+              if os.environ.get(EXECUTOR_ENV_VAR) else "default")
+    print(f"resolved executor: {resolved} ({source})")
+
+    try:
+        decision = pick(calibrate=args.autopick)
+    except ReproError as exc:
+        print(f"auto-pick unavailable: {exc}")
+        return 1
+    mode = "calibrated" if decision.calibrated else "heuristic"
+    print(f"auto-pick ({mode}): kernel={decision.kernel} "
+          f"executor={decision.executor} workers={decision.workers}")
+    print(f"  {decision.reason}")
+    for kernel_name, executor_name, seconds in decision.timings:
+        print(f"  {kernel_name}+{executor_name}: {seconds * 1e3:.1f} ms")
     return 0
 
 
@@ -398,6 +456,23 @@ def _kernel_arg(text: str) -> str:
     return text
 
 
+def _executor_arg(text: str) -> str:
+    """Parse ``--executor`` with a friendly message (the registered
+    backends and, for a registered-but-missing one, why it cannot be
+    used) instead of an InvalidParameterError traceback at first use."""
+    if not has_executor(text):
+        raise argparse.ArgumentTypeError(
+            f"unknown executor {text!r}; registered: "
+            f"{', '.join(executor_names())} (see `repro kernels`; "
+            f"{EXECUTOR_ENV_VAR} sets the session default)")
+    info = executor_info(text)
+    if not info.available:
+        raise argparse.ArgumentTypeError(
+            f"executor {text!r} is not usable here: "
+            f"{info.unavailable_reason}")
+    return text
+
+
 def _frontend_arg(text: str) -> str:
     """Parse ``--frontend`` against the registry with a friendly message
     (see `repro frontends`) instead of a late serve-time error."""
@@ -481,9 +556,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_workers(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=_workers_arg, default=1,
-                       help="worker processes (1 = serial, 0 = all "
+                       help="pool workers (1 = serial, 0 = all "
                             "cores); estimates are bit-identical for "
                             "any worker count")
+        p.add_argument("--executor", type=_executor_arg, default=None,
+                       metavar="BACKEND",
+                       help="pool backend for --workers (see `repro "
+                            f"kernels`; default ${EXECUTOR_ENV_VAR} or "
+                            f"{DEFAULT_EXECUTOR})")
 
     def add_oracle(p: argparse.ArgumentParser) -> None:
         p.add_argument("--oracle", default=None, choices=backend_names(),
@@ -524,7 +604,14 @@ def build_parser() -> argparse.ArgumentParser:
     backends.set_defaults(func=_cmd_backends)
 
     kernels = sub.add_parser(
-        "kernels", help="list registered compute kernels")
+        "kernels",
+        help="list compute kernels, executor backends, and the "
+             "kernel x executor auto-pick")
+    kernels.add_argument("--autopick", action="store_true",
+                         help="run the calibration micro-benchmark and "
+                              "print per-pair timings (cached for the "
+                              "process; without this flag the decision "
+                              "is the capability heuristic)")
     kernels.set_defaults(func=_cmd_kernels)
 
     f0 = sub.add_parser("f0", help="distinct elements of an item stream")
@@ -654,16 +741,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (also used directly by the test suite)."""
     args = build_parser().parse_args(argv)
     kernel = getattr(args, "kernel", None)
-    if kernel is None:
+    executor = getattr(args, "executor", None)
+    if kernel is None and executor is None:
         return args.func(args)
-    # Scope the registry default to this invocation: hash families the
-    # command builds internally pick the kernel up without explicit
-    # threading, and in-process callers (the test suite) see no leak.
-    set_default_kernel(kernel)
+    # Scope the registry defaults to this invocation: hash families and
+    # ``workers=`` knobs the command exercises internally pick the
+    # kernel/executor up without explicit threading, and in-process
+    # callers (the test suite) see no leak.
+    if kernel is not None:
+        set_default_kernel(kernel)
+    if executor is not None:
+        set_default_executor(executor)
     try:
         return args.func(args)
     finally:
-        set_default_kernel(None)
+        if kernel is not None:
+            set_default_kernel(None)
+        if executor is not None:
+            set_default_executor(None)
 
 
 if __name__ == "__main__":

@@ -19,10 +19,14 @@ Now the recipe itself is the first-class object:
   :mod:`repro.parallel.executor`; :func:`repro.parallel.executor.
   split_seeds` is the hook for strategies that need per-repetition
   generators instead of pre-drawn hashes), dispatches repetitions
-  inline or over a process pool, ships the strategy once per worker as
-  the shared payload, sums the per-repetition oracle-call counts, and
-  hands the ordered sketches to ``aggregate`` (which typically finishes
-  with :meth:`repro.core.results.ApproxCountResult.from_repetitions`).
+  inline, over a thread pool, or over a process pool (the backend a
+  bare ``workers=k`` resolves to is the executor registry's decision:
+  ``--executor`` / ``REPRO_EXECUTOR`` / auto -- see
+  :mod:`repro.parallel.registry`), ships the strategy once per worker
+  as the shared payload, sums the per-repetition oracle-call counts,
+  and hands the ordered sketches to ``aggregate`` (which typically
+  finishes with
+  :meth:`repro.core.results.ApproxCountResult.from_repetitions`).
 
 Determinism contract
 --------------------
@@ -34,10 +38,12 @@ identically to the pre-engine per-counter loops:
 * ``sample_hashes`` runs in the parent, before any dispatch, consuming
   the RNG exactly as the old serial loops did;
 * ``run_repetition`` is self-contained -- it builds its own oracle, so a
-  repetition's answers cannot depend on which process ran it or what ran
-  before it (solver state was never shared across repetitions: sessions
-  are per-repetition even under a shared ``NpOracle``, whose call counter
-  is simply additive);
+  repetition's answers cannot depend on which process *or thread* ran it
+  or what ran before it (solver state was never shared across
+  repetitions: sessions are per-repetition even under a shared
+  ``NpOracle``, whose call counter is simply additive).  Self-containment
+  is also what makes thread dispatch safe: concurrent repetitions touch
+  the shared strategy read-only;
 * results are gathered in task order, so the median sees the same
   sequence regardless of scheduling.
 
@@ -136,7 +142,9 @@ class RepetitionEngine:
                 parent by ``strategy.sample_hashes`` before dispatch,
                 in the serial draw order (the determinism contract).
             workers: repetition fan-out -- ``1`` is the inline serial
-                loop, ``0`` means all cores, ``k`` a pool of that size.
+                loop, ``0`` means all cores, ``k`` a pool of that size
+                (thread or process: whatever the executor registry's
+                ``--executor`` / ``REPRO_EXECUTOR`` / auto chain picks).
             executor: caller-supplied executor used as-is and left open
                 (overrides ``workers``); see
                 :func:`repro.parallel.executor.executor_for`.

@@ -19,6 +19,7 @@ Conventions (used consistently across the whole repository):
 from __future__ import annotations
 
 import abc
+import threading
 from typing import List, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.common.bitvec import trailing_zeros
@@ -29,6 +30,12 @@ try:
     import numpy as _np
 except ImportError:  # pragma: no cover - numpy ships with the toolchain
     _np = None
+
+#: Publication lock for the lazily built packed-row layouts.  Module
+#: level (not per instance): ``LinearHash`` is ``__slots__``-lean and
+#: pickled by the thousands into worker payloads, and the lock is held
+#: only for the compare-and-publish, so contention is nil.
+_PACK_LOCK = threading.Lock()
 
 
 def _parity_u64(a):
@@ -167,8 +174,16 @@ class LinearHash:
         ``(rows_u64, value_shifts, offset_const)`` for the single-word
         path plus ``(word_cols, word_shifts, offset_words)`` for the
         multi-word path.  Chunked ingestion calls ``values_batch`` once
-        per chunk; without the cache every call re-packed the matrix."""
-        if self._pack is None:
+        per chunk; without the cache every call re-packed the matrix.
+
+        Thread-parallel tasks share hash objects by reference (the
+        ``ThreadExecutor`` ships nothing), so a cold cache can be hit
+        concurrently: the layout is built into a local and published
+        with a single attribute assignment, making a duplicate build the
+        worst case -- never a reader observing a half-filled dict.
+        """
+        pack = self._pack
+        if pack is None:
             words = max(1, (self.out_bits + 63) // 64)
             rows_u64 = _np.array(self.rows, dtype=_np.uint64)
             bitpos = _np.array([self.out_bits - 1 - r
@@ -180,14 +195,19 @@ class LinearHash:
                     col = words - 1 - (int(bitpos[r]) >> 6)
                     offset_words[col] |= _np.uint64(1) << _np.uint64(
                         int(bitpos[r]) & 63)
-            self._pack = {
+            pack = {
                 "rows": rows_u64,
                 "shifts": (bitpos & 63).astype(_np.uint64),
                 "cols": (words - 1 - (bitpos >> 6)).astype(_np.int64),
                 "words": words,
                 "offset_words": offset_words,
             }
-        return self._pack
+            with _PACK_LOCK:
+                if self._pack is None:
+                    self._pack = pack
+                else:
+                    pack = self._pack
+        return pack
 
     def value(self, x: int) -> int:
         """Full hash value, row 0 at the MSB."""

@@ -64,8 +64,10 @@ register_kernel(
 _numba_present = _importlib_util.find_spec("numba") is not None
 register_kernel(
     "numba", _make_numba,
-    description="njit-compiled loops (same sources, soft dependency)",
+    description=("njit-compiled nogil loops (same sources, "
+                 "soft dependency)"),
     available=_numba_present,
     unavailable_reason=(
         "" if _numba_present
-        else "numba is not installed (pip install 'repro[numba]')"))
+        else "numba is not installed (pip install 'repro[numba]')"),
+    releases_gil=True)

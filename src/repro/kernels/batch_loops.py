@@ -12,6 +12,10 @@ by tier-1 CI where numba is absent.
 All arrays are uint64 (int64 for count outputs); constants are
 ``np.uint64`` so arithmetic stays in uint64 under both interpreters
 (mixed int64/uint64 expressions would promote to float64 in numba).
+Like the CDCL loop, every function stays in the no-object subset, so
+the ``numba`` kernel compiles them ``nogil=True`` and whole Horner /
+packed-row / trail-zeros sweeps run GIL-free under thread-parallel
+repetitions.
 """
 
 from __future__ import annotations

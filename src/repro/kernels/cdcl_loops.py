@@ -12,7 +12,12 @@ body runs two ways:
 
 The function is therefore written in the numba-compatible subset of
 python: flat-array indexing, integer arithmetic, ``while``/``for``/
-``if`` -- no objects, lists, dicts, or exceptions.
+``if`` -- no objects, lists, dicts, or exceptions.  That subset is also
+the ``nogil=True`` contract: nothing in the loop allocates python
+objects or calls back into the interpreter, so the compiled form drops
+the GIL for its entire run (``nopython`` compilation itself guards the
+audit -- an object-mode leak is a compile error, not a silent
+GIL-holding fallback).
 
 Array-layout contract (see DESIGN.md, "Kernel registry"): literals are
 the solver's internal encoding (variable ``v`` true = ``2*v``, false =

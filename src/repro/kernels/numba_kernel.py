@@ -5,7 +5,15 @@ importable on containers without numba; the registry entry in
 :mod:`repro.kernels` is marked unavailable there and :func:`get_kernel`
 never reaches this factory.  Compilation uses ``cache=True`` so the
 machine code persists to disk next to the loop sources -- the warm-up
-cost is paid once per environment, not once per process.
+cost is paid once per environment, not once per process -- and
+``nogil=True`` so every compiled loop drops the GIL for its whole run:
+the loop sources touch only scalars and flat array elements (audited in
+:mod:`repro.kernels.cdcl_loops` / :mod:`repro.kernels.batch_loops` --
+``nopython`` compilation would reject an object-mode leak outright), so
+there is nothing for the GIL to protect, and releasing it is what lets
+:class:`~repro.parallel.executor.ThreadExecutor` run repetitions truly
+in parallel.  The :data:`releases_gil` flag advertises this through the
+registry entry so the executor auto-pick can see it.
 
 The compiled functions are *the same source* the ``python`` kernel
 executes (:mod:`repro.kernels.cdcl_loops`,
@@ -26,10 +34,14 @@ class NumbaKernel:
 
     name = "numba"
 
+    #: Every compiled loop runs without the GIL (``nogil=True``), so
+    #: thread-parallel repetitions overlap for real.
+    releases_gil = True
+
     def __init__(self) -> None:
         import numba
 
-        jit = numba.njit(cache=True, fastmath=False)
+        jit = numba.njit(cache=True, fastmath=False, nogil=True)
         self._propagate = jit(cdcl_loops.propagate)
         self._gf2_eval_poly = jit(batch_loops.gf2_eval_poly)
         self._linear_values = jit(batch_loops.linear_values)

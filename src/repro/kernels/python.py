@@ -45,6 +45,10 @@ class PythonKernel:
 
     name = "python"
 
+    #: Bytecode holds the GIL; thread-parallel maps interleave rather
+    #: than overlap (numpy releases it only inside individual ufuncs).
+    releases_gil = False
+
     # -- CDCL ------------------------------------------------------------
 
     def propagate(self, state) -> int:

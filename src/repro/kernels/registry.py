@@ -34,6 +34,7 @@ tests, so the parity suite is the price of admission for a new entry.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -53,7 +54,10 @@ class KernelInfo:
     ``available`` is False for kernels whose soft dependency is missing
     (the ``numba`` entry on a bare container); they stay listed -- so
     ``repro kernels`` can say *why* -- but :func:`get_kernel` refuses
-    them with the recorded reason.
+    them with the recorded reason.  ``releases_gil`` is the capability
+    flag the executor auto-pick reads: True means the kernel's hot loops
+    drop the GIL for their whole run, so thread-parallel repetitions
+    genuinely overlap.
     """
 
     name: str
@@ -61,16 +65,19 @@ class KernelInfo:
     description: str
     available: bool = True
     unavailable_reason: str = ""
+    releases_gil: bool = False
 
 
 _REGISTRY: Dict[str, KernelInfo] = {}
 _INSTANCES: Dict[str, object] = {}
+_INSTANCE_LOCK = threading.Lock()
 _default_override: Optional[str] = None
 
 
 def register_kernel(name: str, factory: Callable[[], object],
                     description: str = "", available: bool = True,
                     unavailable_reason: str = "",
+                    releases_gil: bool = False,
                     replace: bool = False) -> None:
     """Register a named kernel.
 
@@ -80,7 +87,8 @@ def register_kernel(name: str, factory: Callable[[], object],
     if not replace and name in _REGISTRY:
         raise InvalidParameterError(f"kernel {name!r} already registered")
     _REGISTRY[name] = KernelInfo(name, factory, description,
-                                 available, unavailable_reason)
+                                 available, unavailable_reason,
+                                 releases_gil)
     _INSTANCES.pop(name, None)
 
 
@@ -156,6 +164,12 @@ def get_kernel(name: Optional[str] = None) -> object:
             f"{info.unavailable_reason}")
     instance = _INSTANCES.get(resolved)
     if instance is None:
-        instance = info.factory()
-        _INSTANCES[resolved] = instance
+        # Thread-parallel tasks may race a cold cache; one factory call
+        # wins (numba jit wrapping is not free, and callers expect the
+        # cached instance to be process-unique).
+        with _INSTANCE_LOCK:
+            instance = _INSTANCES.get(resolved)
+            if instance is None:
+                instance = info.factory()
+                _INSTANCES[resolved] = instance
     return instance

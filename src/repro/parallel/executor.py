@@ -1,18 +1,29 @@
-"""The process-parallel execution layer.
+"""The parallel execution layer.
 
 Both halves of the paper's transfer are embarrassingly parallel: the
 streaming side across shard replicas of a mergeable sketch, the counting
 side across independent repetitions (each with its own hash function and
 cell-search engine).  This module provides the one abstraction they
 share -- an :class:`Executor` that maps a task function over a list of
-task payloads -- with two backends:
+task payloads -- with three backends:
 
 * :class:`SerialExecutor` runs tasks inline in the calling process.  It
   is the ``workers=1`` path and costs nothing beyond the loop itself: no
   pool spawn, no pickling, no import-time ``multiprocessing`` machinery.
+* :class:`ThreadExecutor` fans tasks out over a persistent thread pool.
+  Nothing is pickled -- tasks, results and the ``shared`` payload cross
+  by reference -- so its per-task overhead is near zero; real scaling
+  additionally needs the hot loops to release the GIL (the ``numba``
+  kernel's ``nogil`` loops do; see the ``releases_gil`` capability flag
+  in :mod:`repro.kernels`).
 * :class:`ProcessExecutor` fans tasks out over a ``multiprocessing``
   pool.  Task functions must be module-level (picklable by reference)
   and payloads picklable by value.
+
+Which backend a bare ``workers=k`` knob resolves to is a registry
+decision (:mod:`repro.parallel.registry`: explicit name ->
+``set_default_executor`` override -> ``REPRO_EXECUTOR`` -> ``auto``),
+mirroring the compute-kernel registry's ``REPRO_KERNEL`` chain.
 
 Determinism discipline
 ----------------------
@@ -36,8 +47,13 @@ The rules that guarantee it:
 ``map(fn, tasks, shared=obj)`` ships ``obj`` once per worker chunk
 rather than once per task -- the right place for a formula, an
 enumerated solution set, or anything else every task reads but none
-mutates.  Workers receive it as ``fn(task, shared)``; mutations made in
-a worker are invisible to the parent (each process has its own copy).
+mutates.  Workers receive it as ``fn(task, shared)``; under a process
+pool mutations made in a worker are invisible to the parent (each
+process has its own copy), while in-process executors (serial, thread)
+hand the *same* object to every task -- task functions must treat
+``shared`` as read-only, and any lazily built scratch state it holds
+must be safe to build concurrently (see the ``LinearHash`` packed-layout
+cache for the pattern).
 """
 
 from __future__ import annotations
@@ -86,8 +102,14 @@ def split_seeds(rng: RandomSource, count: int) -> List[int]:
 class Executor:
     """Order-preserving ``map`` over picklable tasks; see module docstring."""
 
-    #: Number of worker processes results are computed on (1 for serial).
+    #: Number of workers results are computed on (1 for serial).
     workers: int = 1
+
+    #: Whether tasks run in the calling process (serial, thread): payloads
+    #: cross by reference, nothing is pickled, and in-place mutations are
+    #: visible to the caller.  Scatter plumbing uses this to skip
+    #: wire-encoding work that only pays off across a process boundary.
+    in_process: bool = False
 
     @property
     def is_serial(self) -> bool:
@@ -111,10 +133,57 @@ class SerialExecutor(Executor):
     """Run every task inline: the zero-overhead ``workers=1`` backend."""
 
     workers = 1
+    in_process = True
 
     def map(self, fn: Callable[[T, object], R], tasks: Sequence[T],
             shared: object = None) -> List[R]:
         return [fn(task, shared) for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    """Fan tasks out over a persistent thread pool (zero pickling).
+
+    The complement of :class:`ProcessExecutor` for the regime where its
+    fork+pickle overhead swamps the work: tasks, results and ``shared``
+    cross by reference, so a map of tiny repetitions costs little more
+    than the serial loop.  True parallel *speed-up* additionally needs
+    the per-task hot loops to drop the GIL -- the ``numba`` kernel's
+    ``nogil``-compiled loops do, the pure-python paths do not (they
+    still run correctly, just interleaved).  ``fn`` and ``shared`` are
+    entered concurrently from ``workers`` threads: ``shared`` must be
+    treated as read-only and any lazy caches it builds must be
+    thread-safe.
+
+    Results are gathered in task order (``ThreadPoolExecutor.map``
+    preserves it), so the determinism contract is identical to the other
+    backends: bit-identical estimates at any worker count.
+    """
+
+    in_process = True
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise InvalidParameterError(
+                "ThreadExecutor needs >= 2 workers; use SerialExecutor")
+        from concurrent.futures import ThreadPoolExecutor
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="repro-exec")
+
+    def map(self, fn: Callable[[T, object], R], tasks: Sequence[T],
+            shared: object = None) -> List[R]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if len(tasks) == 1 or self._pool is None:
+            # One task cannot overlap with anything; skip the pool hop.
+            return [fn(task, shared) for task in tasks]
+        return list(self._pool.map(lambda task: fn(task, shared), tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 def _call_task(fn: Callable, shared: object, task: object) -> object:
@@ -173,21 +242,20 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def get_executor(workers: Optional[int] = 1) -> Executor:
-    """The executor for a ``workers`` knob.
+def get_executor(workers: Optional[int] = 1,
+                 name: Optional[str] = None) -> Executor:
+    """The executor for a ``(workers, name)`` pair.
 
     ``workers=1`` (or ``None``) returns the serial backend -- zero
     behavioural change and no pool spawn.  ``workers=0`` means "all
-    cores".  When ``multiprocessing`` is unavailable or pool creation is
+    cores".  ``name`` picks a registered backend explicitly; ``None``
+    follows the registry resolution chain (:func:`set_default_executor`
+    override -> ``REPRO_EXECUTOR`` -> ``auto``).  When pool creation is
     impossible, any request degrades gracefully to serial execution.
     """
-    count = resolve_workers(workers)
-    if count <= 1 or _mp is None:
-        return SerialExecutor()
-    try:
-        return ProcessExecutor(count)
-    except (InvalidParameterError, OSError):  # pragma: no cover - env-specific
-        return SerialExecutor()
+    # Lazy import: the registry imports this module's classes.
+    from repro.parallel.registry import make_executor
+    return make_executor(workers, name)
 
 
 class _OwnedExecutor:

@@ -12,8 +12,10 @@ Chunks are dispatched in **waves** (``wave`` chunks per sketch per
 dispatch) so a generator-backed stream is never fully materialised in
 the parent: each wave buffers at most ``wave * len(sketches)`` chunks,
 ships them, and replaces the local sketches with the ingested replicas
-the workers return.  Serial executors run the same code path inline --
-the sketches are then mutated in place and no pickling happens.
+the workers return.  In-process executors (serial, thread) run the same
+code path without any pickling: the sketches are mutated in place, and
+thread tasks never share a sketch (chunk ``j`` goes wholly to sketch
+``j mod k``), so no locking is needed.
 """
 
 from __future__ import annotations
@@ -98,15 +100,16 @@ def ingest_stream_parallel(executor: Executor, sketches: List[object],
     ``"pickle"`` (default) ships them as pickles; ``"store"`` ships the
     versioned binary frames of :mod:`repro.store.serialize` -- the same
     bytes a sketch service would accept, with bit-identical estimates
-    either way (property-tested in ``tests/test_store.py``).  Serial
-    executors ignore the knob (nothing crosses a boundary).
+    either way (property-tested in ``tests/test_store.py``).  In-process
+    executors (serial, thread) ignore the knob: nothing crosses a
+    boundary, so wire-encoding would be pure overhead.
     """
     if wire not in ("pickle", "store"):
         raise ValueError(f"unknown wire {wire!r}; use 'pickle' or 'store'")
     k = len(sketches)
     if k == 0:
         return sketches
-    if wire == "store" and not executor.is_serial:
+    if wire == "store" and not executor.in_process:
         from repro.store.serialize import dumps, loads
         sketches = [_StoreFrame(dumps(sk)) for sk in sketches]
         ingested = _scatter(executor, sketches, chunks, wave)
@@ -126,7 +129,9 @@ def _scatter(executor: Executor, sketches: List[object],
     for chunk in chunks:
         if len(chunk) == 0:
             continue
-        if not executor.is_serial:
+        if not executor.in_process:
+            # Fixed-width buffers pickle an order of magnitude cheaper
+            # than int lists; in-process nothing is pickled, so skip it.
             chunk = _compact(chunk)
         pending[index % k].append(chunk)
         index += 1

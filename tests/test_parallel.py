@@ -1,21 +1,30 @@
-"""Tests for the process-parallel execution layer.
+"""Tests for the parallel execution layer.
 
-Three pillars:
+Four pillars:
 
-* **Executor contract** -- serial and process backends map in task
-  order, ship ``shared`` payloads, and degrade gracefully.
+* **Executor contract** -- serial, thread and process backends map in
+  task order, ship ``shared`` payloads, and degrade gracefully; the
+  executor registry resolves ``--executor`` / ``REPRO_EXECUTOR`` / auto
+  with friendly errors.
 * **Pickle boundaries** -- every F0 sketch (and the cell-search engine's
   inputs) survives a pickle round-trip with identical behaviour, and
   lazily built scratch state (the ``LinearHash`` packed layout) stays
-  out of the payload.
+  out of the payload *and* builds safely under concurrent cold-cache
+  hits (thread executors share hash objects by reference).
 * **Parallel == serial** -- for fixed seeds, ``workers=1`` and
   ``workers=4`` produce identical estimates and identical
   per-repetition results across all sketches and counters, including
   odd/duplicate/empty chunks.
+* **Executor matrix** -- all four counter strategies plus sharded
+  ingestion are bit-identical (estimates, per-repetition sketches,
+  oracle-call totals) across serial/thread/process, on every available
+  compute kernel.
 """
 
+import os
 import pickle
 import random
+import threading
 
 import pytest
 
@@ -28,16 +37,24 @@ from repro.core.min_count import approx_model_count_min
 from repro.formulas.generators import fixed_count_dnf, random_k_cnf
 from repro.hashing.kwise import KWiseHashFamily
 from repro.hashing.toeplitz import ToeplitzHashFamily
+from repro.kernels import kernel_info, kernel_names
 from repro.parallel import (
+    DEFAULT_EXECUTOR,
     ProcessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     available_workers,
     executor_for,
+    executor_names,
     get_executor,
     ingest_stream_parallel,
+    make_executor,
+    resolve_executor_name,
     resolve_workers,
+    set_default_executor,
     split_seeds,
 )
+from repro.parallel.registry import ENV_VAR as EXECUTOR_ENV_VAR
 from repro.sat.oracle import NpOracle
 from repro.streaming.base import SketchParams, chunked, compute_f0
 from repro.streaming.bucketing import BucketingF0
@@ -327,3 +344,275 @@ class TestParallelCounterEquivalence:
         b = approx_mc(DNF, COUNT_PARAMS, random.Random(3), workers=2)
         assert a.estimate == b.estimate
         assert a.iteration_sketches == b.iteration_sketches
+
+
+@pytest.fixture(scope="module")
+def thread_pool():
+    """One thread pool for the whole module."""
+    executor = ThreadExecutor(4)
+    yield executor
+    executor.close()
+
+
+class TestThreadExecutor:
+    def test_map_order_and_shared(self, thread_pool):
+        assert not thread_pool.is_serial
+        assert thread_pool.in_process
+        tasks = list(range(37))
+        assert thread_pool.map(_double, tasks, shared=100) \
+            == [t * 2 + 100 for t in tasks]
+        assert thread_pool.map(_ident, tasks) == tasks
+        assert thread_pool.map(_double, []) == []
+        assert thread_pool.map(_double, [5], shared=1) == [11]
+
+    def test_shared_crosses_by_reference(self, thread_pool):
+        """In-process executors hand tasks the very same shared object
+        (no pickling) -- the property the scatter plumbing's
+        ``in_process`` checks rely on."""
+        marker = object()
+        ids = thread_pool.map(lambda _t, shared: id(shared),
+                              list(range(8)), shared=marker)
+        assert set(ids) == {id(marker)}
+
+    def test_rejects_serial_width(self):
+        with pytest.raises(InvalidParameterError):
+            ThreadExecutor(1)
+
+    def test_close_is_idempotent(self):
+        ex = ThreadExecutor(2)
+        assert ex.map(_double, [1, 2]) == [2, 4]
+        ex.close()
+        ex.close()
+        # A closed pool still maps (inline), matching ProcessExecutor.
+        assert ex.map(_double, [1, 2]) == [2, 4]
+
+    def test_in_process_flags(self, pool):
+        assert SerialExecutor().in_process
+        assert not pool.in_process
+
+
+class TestExecutorRegistry:
+    def test_names_and_default(self):
+        names = executor_names()
+        assert names[0] == DEFAULT_EXECUTOR == "auto"
+        assert {"auto", "serial", "thread", "process"} <= set(names)
+
+    def test_make_executor_explicit_names(self):
+        ex = make_executor(3, "thread")
+        try:
+            assert isinstance(ex, ThreadExecutor) and ex.workers == 3
+        finally:
+            ex.close()
+        assert isinstance(make_executor(4, "serial"), SerialExecutor)
+
+    def test_workers_one_short_circuits_any_backend(self):
+        for name in ("auto", "serial", "thread", "process"):
+            assert isinstance(make_executor(1, name), SerialExecutor)
+            assert isinstance(make_executor(None, name), SerialExecutor)
+
+    def test_unknown_name_is_friendly(self):
+        with pytest.raises(InvalidParameterError, match="registered:"):
+            make_executor(4, "gpu")
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "thread")
+        assert resolve_executor_name(None) == "thread"
+        ex = get_executor(2)
+        try:
+            assert isinstance(ex, ThreadExecutor)
+        finally:
+            ex.close()
+
+    def test_bogus_env_var_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "gpu")
+        with pytest.raises(InvalidParameterError,
+                           match=EXECUTOR_ENV_VAR):
+            resolve_executor_name(None)
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "process")
+        set_default_executor("thread")
+        try:
+            assert resolve_executor_name(None) == "thread"
+        finally:
+            set_default_executor(None)
+        assert resolve_executor_name(None) == "process"
+
+    def test_override_validates_eagerly(self):
+        with pytest.raises(InvalidParameterError):
+            set_default_executor("gpu")
+
+    def test_auto_with_gil_holding_kernel_is_process(self):
+        # The default (python) kernel holds the GIL, so the heuristic
+        # must keep the historical process-pool behaviour.
+        ex = get_executor(2)
+        try:
+            assert isinstance(ex, ProcessExecutor)
+        finally:
+            ex.close()
+
+    def test_autopick_calibration_and_cache(self):
+        from repro.kernels import autopick
+
+        autopick.clear_cache()
+        try:
+            decision = autopick.pick(workers=2, calibrate=True)
+            assert decision.calibrated
+            assert decision.kernel in kernel_names()
+            assert decision.executor in ("serial", "thread", "process")
+            assert decision.timings  # one entry per probed pair
+            assert all(seconds > 0 for _, _, seconds in decision.timings)
+            # The calibrated decision is cached and a later heuristic
+            # request must not displace it.
+            again = autopick.pick(workers=2)
+            assert again is decision
+        finally:
+            autopick.clear_cache()
+
+    def test_autopick_serial_below_two_workers(self):
+        from repro.kernels.autopick import pick
+
+        decision = pick(workers=1)
+        assert decision.executor == "serial"
+        assert not decision.calibrated
+
+    def test_releases_gil_capability_flags(self):
+        assert not kernel_info("python").releases_gil
+        assert kernel_info("numba").releases_gil
+        if os.environ.get("REQUIRE_NUMBA"):
+            assert kernel_info("numba").available, \
+                "REQUIRE_NUMBA=1 but the numba kernel is unavailable"
+
+
+class TestPackedCacheConcurrency:
+    """The ``LinearHash._packed`` cold-cache race fix: concurrent first
+    uses must all see a fully built layout and identical hash values."""
+
+    HAMMER_THREADS = 8
+
+    def _hammer(self, hash_fn, xs):
+        barrier = threading.Barrier(self.HAMMER_THREADS)
+        results, errors = [None] * self.HAMMER_THREADS, []
+
+        def worker(slot):
+            try:
+                barrier.wait(timeout=10)
+                values = hash_fn.values_batch_words(xs)
+                results[slot] = [hash_fn.words_to_int(row)
+                                 for row in values]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.HAMMER_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors[:1]
+        return results
+
+    def test_concurrent_cold_cache_is_consistent(self):
+        xs = list(range(256))
+        for trial in range(20):
+            h = ToeplitzHashFamily(16, 48).sample(random.Random(trial))
+            assert h._pack is None  # Cold: every thread races the build.
+            results = self._hammer(h, xs)
+            reference = [h.value(x) for x in xs]
+            for result in results:
+                assert result == reference
+            # Exactly one pack object won the publish: a complete dict.
+            assert set(h._pack) == {"rows", "shifts", "cols", "words",
+                                    "offset_words"}
+
+    def test_publish_is_single_assignment(self):
+        """Readers may race the builder but must only ever observe None
+        (build locally) or the finished dict -- verified by hammering a
+        hash whose pack is concurrently cleared, so cold hits interleave
+        with warm ones."""
+        xs = list(range(128))
+        h = ToeplitzHashFamily(16, 80).sample(random.Random(99))
+        reference = [h.value(x) for x in xs]
+        stop = threading.Event()
+
+        def clearer():
+            while not stop.is_set():
+                h._pack = None  # Force repeated cold builds mid-flight.
+
+        t = threading.Thread(target=clearer)
+        t.start()
+        try:
+            for _ in range(50):
+                values = h.values_batch_words(xs)
+                assert [h.words_to_int(row) for row in values] == reference
+        finally:
+            stop.set()
+            t.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Executor matrix: counters and sharded ingestion bit-identical across
+# serial/thread/process on every available kernel.
+
+AVAILABLE_KERNELS = [n for n in kernel_names() if kernel_info(n).available]
+
+COUNTER_RUNNERS = {
+    "approxmc": lambda formula, kernel, **kw: approx_mc(
+        formula, COUNT_PARAMS, random.Random(7), kernel=kernel, **kw),
+    "min": lambda formula, kernel, **kw: approx_model_count_min(
+        formula, COUNT_PARAMS, random.Random(7), kernel=kernel, **kw),
+    "est": lambda formula, kernel, **kw: approx_model_count_est(
+        formula, COUNT_PARAMS, random.Random(7), kernel=kernel, **kw),
+    "fm": lambda formula, kernel, **kw: flajolet_martin_count(
+        formula, random.Random(9), repetitions=5, kernel=kernel, **kw),
+}
+
+
+def _result_tuple(result):
+    if hasattr(result, "max_levels"):  # FmCountResult
+        return (result.estimate, result.oracle_calls,
+                tuple(result.max_levels))
+    return (result.estimate, tuple(result.raw_estimates),
+            tuple(result.iteration_sketches), result.oracle_calls)
+
+
+class TestExecutorMatrixParity:
+    @pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+    @pytest.mark.parametrize("counter", sorted(COUNTER_RUNNERS))
+    def test_counters_identical_across_executors(self, counter, kernel,
+                                                 pool, thread_pool):
+        run = COUNTER_RUNNERS[counter]
+        reference = _result_tuple(run(CNF, kernel))  # workers=1 serial.
+        for name, ex in (("thread", thread_pool), ("process", pool)):
+            outcome = _result_tuple(run(CNF, kernel, executor=ex))
+            assert outcome == reference, (
+                f"{counter} under kernel={kernel} executor={name} "
+                f"diverged from serial")
+
+    @pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+    def test_sharded_ingestion_identical_across_executors(
+            self, kernel, pool, thread_pool):
+        stream = shuffled_stream_with_f0(random.Random(31), UNIVERSE_BITS,
+                                         260, 900)
+
+        def ingest(executor):
+            sharded = ShardedF0(
+                MinimumF0(UNIVERSE_BITS, SMALL, random.Random(41),
+                          kernel=kernel), 4)
+            sharded.process_stream(stream, chunk_size=64,
+                                   executor=executor)
+            return (sharded.estimate(),
+                    [r.values() for shard in sharded.shards
+                     for r in shard.rows])
+
+        reference = ingest(None)  # Serial.
+        assert ingest(thread_pool) == reference
+        assert ingest(pool) == reference
+
+    def test_counter_thread_via_registry_env(self, monkeypatch):
+        """workers=4 + REPRO_EXECUTOR=thread exercises the registry
+        resolution end to end (no explicit executor object)."""
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "thread")
+        a = approx_mc(DNF, COUNT_PARAMS, random.Random(3))
+        b = approx_mc(DNF, COUNT_PARAMS, random.Random(3), workers=4)
+        assert _result_tuple(a) == _result_tuple(b)
