@@ -1,0 +1,202 @@
+"""E32 -- Windowed F0: what the sliding-window ring costs and saves.
+
+The windowed wrapper (``repro.streaming.windowed``) is sold on two
+claims: ingest through the ring costs little more than ingest into the
+bare sketch (one extra indirection per batch), and under churn -- a
+stream whose item range keeps moving -- the ring's footprint stays flat
+where exact windowed counting grows with everything it must remember.
+This benchmark measures both, plus the rotation machinery itself.
+
+* **Ingest tax** -- the same seeded batch stream through a bare
+  ``minimum`` sketch and through a ``WindowedF0`` ring around an
+  identical sketch (no rotation: every item lands in one epoch).  The
+  ratio is the pure wrapper overhead.
+* **Rotation cost** -- time per ``advance`` across many single-epoch
+  steps over a populated ring (each step evicts and re-clones one
+  bucket), and the far-jump case (``advance`` across many windows)
+  which must rotate each slot exactly once however large the gap.
+* **Churn footprint** -- a rolling stream (fresh item range every
+  phase) into a windowed ring vs an :class:`ExactF0` forced to remember
+  the full horizon.  Reported as exact/windowed ``space_bits`` ratios
+  over the run; the windowed curve must flatten (last-phase growth
+  ~zero) while exact keeps climbing.
+
+Gates are correctness-shaped only (single-core safe): the windowed
+estimate agrees with a bare sketch fed the same single-epoch stream
+bit-exactly, evictions equal the buckets rotated out, and the churn
+run's final exact/windowed space ratio clears ``SPACE_RATIO_GATE``.
+
+Machine-readable record: ``BENCH_E32.json``.
+"""
+
+import random
+import time
+
+from benchmarks.harness import LIGHT_PARAMS, emit, emit_json, format_table
+from repro.store.factory import build_sketch
+from repro.streaming import ExactF0
+
+UNIVERSE_BITS = 20
+SEED = 32
+
+#: Ingest-tax workload: enough batches that per-batch overhead dominates
+#: timer noise, small enough to finish in seconds on one core.
+BATCHES = 200
+BATCH_ITEMS = 500
+
+#: Rotation workload.
+RING_BUCKETS = 8
+WINDOW = float(RING_BUCKETS)  # Width 1.0: epoch e covers [e, e+1).
+ADVANCE_STEPS = 400
+
+#: Churn workload: each phase shifts to a disjoint item range, so the
+#: exact counter's memory grows linearly while the ring keeps evicting.
+CHURN_PHASES = 12
+CHURN_ITEMS_PER_PHASE = 2000
+
+#: Final exact/windowed space ratio the churn run must clear.  With 12
+#: disjoint phases and a ring spanning 8, exact remembers ~12/8 of what
+#: the window holds even before sketch compression kicks in.
+SPACE_RATIO_GATE = 1.2
+
+
+def _batches(seed, batches, items, lo=0, hi=None):
+    """Seeded batch stream over ``[lo, hi)`` (full universe default)."""
+    rng = random.Random(seed)
+    top = (1 << UNIVERSE_BITS) if hi is None else hi
+    return [[rng.randrange(lo, top) for _ in range(items)]
+            for _ in range(batches)]
+
+
+def _time_ingest(sketch, batches):
+    start = time.perf_counter()
+    for batch in batches:
+        sketch.process_batch(batch)
+    return time.perf_counter() - start
+
+
+def _run_ingest_tax():
+    """Same stream into a bare sketch and into a quiet (unrotated) ring."""
+    batches = _batches(SEED, BATCHES, BATCH_ITEMS)
+    items = BATCHES * BATCH_ITEMS
+
+    plain = build_sketch("minimum", UNIVERSE_BITS, LIGHT_PARAMS, seed=SEED)
+    plain_s = _time_ingest(plain, batches)
+
+    windowed = build_sketch("minimum", UNIVERSE_BITS, LIGHT_PARAMS,
+                            seed=SEED, window=WINDOW, buckets=RING_BUCKETS)
+    windowed_s = _time_ingest(windowed, batches)
+
+    # Every batch landed in epoch 0, so the full-window estimate is the
+    # bare sketch's estimate -- bit-exactly, same seeds, same items.
+    assert windowed.estimate() == plain.estimate()
+    return {
+        "items": items,
+        "plain_qps": items / plain_s,
+        "windowed_qps": items / windowed_s,
+        "overhead_ratio": windowed_s / plain_s,
+    }
+
+
+def _run_rotation_cost():
+    """Per-advance cost: single-epoch steps, then one far jump."""
+    windowed = build_sketch("minimum", UNIVERSE_BITS, LIGHT_PARAMS,
+                            seed=SEED, window=WINDOW, buckets=RING_BUCKETS)
+    rng = random.Random(SEED + 1)
+
+    # Steady state: populate, then step one epoch at a time.  Each step
+    # evicts exactly one (dirty) bucket and deep-copies the prototype.
+    start_evictions = windowed.evictions
+    start = time.perf_counter()
+    for step in range(1, ADVANCE_STEPS + 1):
+        windowed.advance(float(step))
+        windowed.process_batch(
+            [rng.randrange(1 << UNIVERSE_BITS) for _ in range(50)])
+    steady_s = time.perf_counter() - start
+    # Step s rotates the slot holding epoch s - K, dirty only once
+    # s > K: the first K steps recycle never-touched buckets, every
+    # later step evicts the one populated bucket falling off the ring.
+    evicted = windowed.evictions - start_evictions
+    assert evicted == ADVANCE_STEPS - RING_BUCKETS
+
+    # Far jump: skipping 1000 windows forward must rotate each slot
+    # exactly once, not once per skipped epoch.
+    start = time.perf_counter()
+    rotated = windowed.advance(float(ADVANCE_STEPS + 1000 * RING_BUCKETS))
+    far_jump_s = time.perf_counter() - start
+    assert rotated == RING_BUCKETS
+    assert windowed.estimate() == 0.0  # Everything aged out.
+
+    return {
+        "advance_us": steady_s / ADVANCE_STEPS * 1e6,
+        "far_jump_us": far_jump_s * 1e6,
+        "evictions": evicted,
+    }
+
+
+def _run_churn_footprint():
+    """Rolling ranges: ring stays flat, exact grows with the horizon."""
+    windowed = build_sketch("minimum", UNIVERSE_BITS, LIGHT_PARAMS,
+                            seed=SEED, window=WINDOW, buckets=RING_BUCKETS)
+    exact = ExactF0()
+    span = (1 << UNIVERSE_BITS) // CHURN_PHASES
+    curve = []
+    for phase in range(CHURN_PHASES):
+        windowed.advance(float(phase))
+        lo, hi = phase * span, (phase + 1) * span
+        for batch in _batches(SEED + phase, 4, CHURN_ITEMS_PER_PHASE // 4,
+                              lo=lo, hi=hi):
+            windowed.process_batch(batch)
+            exact.process_batch(batch)
+        curve.append({"phase": phase,
+                      "windowed_bits": windowed.space_bits(),
+                      "exact_bits": exact.space_bits()})
+    final = curve[-1]
+    ratio = final["exact_bits"] / final["windowed_bits"]
+    # The ring saturates once every bucket is live: its last-phase
+    # growth must be a sliver of exact's unbounded climb.
+    windowed_growth = final["windowed_bits"] - curve[-2]["windowed_bits"]
+    exact_growth = final["exact_bits"] - curve[-2]["exact_bits"]
+    assert windowed_growth < exact_growth
+    return {
+        "phases": CHURN_PHASES,
+        "windowed_bits": final["windowed_bits"],
+        "exact_bits": final["exact_bits"],
+        "space_ratio": ratio,
+        "curve": curve,
+    }
+
+
+def test_e32_windowed(capsys):
+    ingest = _run_ingest_tax()
+    rotation = _run_rotation_cost()
+    churn = _run_churn_footprint()
+
+    assert churn["space_ratio"] >= SPACE_RATIO_GATE
+
+    rows = [
+        ["ingest plain qps", f"{ingest['plain_qps']:,.0f}"],
+        ["ingest windowed qps", f"{ingest['windowed_qps']:,.0f}"],
+        ["wrapper overhead", f"{ingest['overhead_ratio']:.2f}x"],
+        ["advance (steady)", f"{rotation['advance_us']:.1f} us"],
+        ["advance (far jump)", f"{rotation['far_jump_us']:.1f} us"],
+        ["churn exact bits", f"{churn['exact_bits']:,}"],
+        ["churn windowed bits", f"{churn['windowed_bits']:,}"],
+        ["space ratio", f"{churn['space_ratio']:.2f}x "
+                        f"(gate >= {SPACE_RATIO_GATE}x)"],
+    ]
+    table = format_table(
+        f"E32  Windowed F0 ring ({RING_BUCKETS} buckets, "
+        f"{BATCHES}x{BATCH_ITEMS} ingest, {CHURN_PHASES}-phase churn)",
+        ["metric", "value"], rows)
+    emit(capsys, "E32_windowed", table)
+
+    emit_json("E32", {
+        "universe_bits": UNIVERSE_BITS,
+        "ring_buckets": RING_BUCKETS,
+        "window": WINDOW,
+        "ingest": ingest,
+        "rotation": rotation,
+        "churn": churn,
+        "space_ratio_gate": SPACE_RATIO_GATE,
+    })

@@ -13,7 +13,9 @@ Examples::
     python -m repro kernels --autopick
     python -m repro f0 items.txt --universe-bits 16 --sketch minimum
     python -m repro f0 items.txt --universe-bits 16 --workers 0
+    python -m repro f0 items.txt --universe-bits 16 --window 3600
     python -m repro serve --port 8080 --snapshot sketches.bin
+    python -m repro serve --sweep-interval 30
     python -m repro serve --frontend asyncio --snapshot-on-exit exit.bin
     python -m repro serve --frontend multiproc --procs 4
     python -m repro serve --cluster http://h1:8081,http://h2:8082
@@ -23,6 +25,7 @@ Examples::
     python -m repro push clicks items.txt --create --universe-bits 32
     python -m repro push clicks items.txt --workers 4
     python -m repro query clicks
+    python -m repro query clicks --window 900
 
 ``count`` accepts DIMACS ``p cnf`` and ``p dnf`` files (sniffed from the
 problem line); ``f0`` reads one integer item per line.  ``--workers``
@@ -44,7 +47,9 @@ environment variable sets the session default).
 ``REPRO_FRONTEND``/``REPRO_PROCS`` set session defaults the same way
 ``REPRO_KERNEL`` does), ``--frontend multiproc --procs N`` pre-forks N
 shared-nothing workers on one port, ``--snapshot-on-exit`` makes
-SIGTERM/SIGINT shutdowns durable, and ``--cluster`` turns the process
+SIGTERM/SIGINT shutdowns durable, ``--sweep-interval`` runs a periodic
+TTL sweep so expired sketches are shed without read traffic, and
+``--cluster`` turns the process
 into a consistent-hashing gateway over several node services
 (:mod:`repro.distributed.cluster`).  ``rebalance`` streams sketch
 frames to their new owners after the cluster's node set changes,
@@ -102,6 +107,7 @@ from repro.streaming.exact import ExactF0
 from repro.streaming.flajolet_martin import FlajoletMartinF0
 from repro.streaming.minimum import MinimumF0
 from repro.streaming.sharded import ShardedF0
+from repro.streaming.windowed import WindowedF0
 
 Formula = Union[CnfFormula, DnfFormula]
 
@@ -248,6 +254,14 @@ def _cmd_f0(args: argparse.Namespace) -> int:
             "estimation": EstimationF0,
         }[args.sketch]
         estimator = sketch_cls(args.universe_bits, params, rng)
+    if args.window is not None:
+        from repro.store.factory import DEFAULT_WINDOW_BUCKETS
+        estimator = WindowedF0(estimator, args.window,
+                               buckets=(args.buckets
+                                        if args.buckets is not None
+                                        else DEFAULT_WINDOW_BUCKETS))
+    elif args.buckets is not None:
+        raise SystemExit("--buckets only applies with --window")
     if args.shards > 1:
         estimator = ShardedF0(estimator, args.shards)
     with open(args.items) as f:
@@ -273,6 +287,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise SystemExit(
                 "--snapshot/--restore/--snapshot-on-exit are per-node "
                 "options; a --cluster gateway holds no store of its own")
+        if args.sweep_interval is not None:
+            raise SystemExit(
+                "--sweep-interval is a per-node option; a --cluster "
+                "gateway holds no store to sweep")
         router = ClusterRouter(
             ClusterClient(nodes, replication=args.replication))
     from repro.common.errors import ReproError
@@ -299,7 +317,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               snapshot_path=args.snapshot, restore=args.restore,
               verbose=not args.quiet, frontend=frontend,
               snapshot_on_exit=args.snapshot_on_exit, router=router,
-              procs=args.procs, delta_interval=args.delta_interval)
+              procs=args.procs, delta_interval=args.delta_interval,
+              sweep_interval=args.sweep_interval)
     except ReproError as exc:
         raise SystemExit(str(exc))
     return 0
@@ -366,7 +385,8 @@ def _cmd_push(args: argparse.Namespace) -> int:
                           eps=args.eps, delta=args.delta,
                           thresh_constant=args.thresh_constant,
                           repetitions_constant=args.repetitions_constant,
-                          seed=args.seed, ttl=args.ttl)
+                          seed=args.seed, ttl=args.ttl,
+                          window=args.window, buckets=args.buckets)
         except ServiceError as exc:
             raise SystemExit(str(exc))
     try:
@@ -421,7 +441,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             for key in sorted(info):
                 print(f"{key}: {info[key]}")
         else:
-            print(f"{client.estimate(args.name):.6g}")
+            print(f"{client.estimate(args.name, window=args.window):.6g}")
     except ServiceError as exc:
         raise SystemExit(str(exc))
     return 0
@@ -507,6 +527,42 @@ def _delta_interval_arg(text: str) -> float:
         raise argparse.ArgumentTypeError(
             "delta interval must be >= 0 seconds (0 = publish "
             "immediately)")
+    return value
+
+
+def _window_arg(text: str) -> float:
+    """Parse ``--window`` with a friendly message."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "window must be > 0 time units")
+    return value
+
+
+def _buckets_arg(text: str) -> int:
+    """Parse ``--buckets`` with a friendly message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "buckets must be >= 1 ring buckets")
+    return value
+
+
+def _sweep_interval_arg(text: str) -> float:
+    """Parse ``--sweep-interval`` with a friendly message."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "sweep interval must be > 0 seconds")
     return value
 
 
@@ -623,6 +679,15 @@ def build_parser() -> argparse.ArgumentParser:
     f0.add_argument("--shards", type=int, default=1,
                     help="partition the stream across this many sketch "
                          "replicas and merge (default 1)")
+    f0.add_argument("--window", type=_window_arg, default=None,
+                    metavar="SPAN",
+                    help="wrap the sketch in a sliding window spanning "
+                         "this much logical time (counts reflect only "
+                         "the trailing SPAN once advanced)")
+    f0.add_argument("--buckets", type=_buckets_arg, default=None,
+                    metavar="K",
+                    help="ring buckets for --window (default 8; "
+                         "estimate granularity is SPAN/K)")
     f0.add_argument("--chunk-size", type=_chunk_size_arg,
                     default=DEFAULT_CHUNK_SIZE,
                     help="batch-ingestion chunk size "
@@ -660,6 +725,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multiproc delta-publish coalescing "
                             "interval (default 0 = publish each "
                             "acknowledged write immediately)")
+    serve.add_argument("--sweep-interval", type=_sweep_interval_arg,
+                       default=None, metavar="SECONDS",
+                       help="run a periodic TTL sweep over the store "
+                            "every SECONDS, so expired sketches are "
+                            "shed even with no read traffic (default: "
+                            "lazy reaping only)")
     serve.add_argument("--snapshot-on-exit", default=None, metavar="PATH",
                        help="snapshot the store here on graceful "
                             "shutdown (SIGTERM/SIGINT)")
@@ -716,6 +787,14 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument("--ttl", type=float, default=None,
                       help="expire the sketch this many seconds after "
                            "its last update (with --create)")
+    push.add_argument("--window", type=_window_arg, default=None,
+                      metavar="SPAN",
+                      help="create the sketch as a sliding window over "
+                           "SPAN logical time units (with --create)")
+    push.add_argument("--buckets", type=_buckets_arg, default=None,
+                      metavar="K",
+                      help="ring buckets for --window (with --create; "
+                           "default 8)")
     push.add_argument("--chunk-size", type=_chunk_size_arg,
                       default=DEFAULT_CHUNK_SIZE,
                       help="batch-ingestion chunk size "
@@ -733,6 +812,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--info", action="store_true",
                        help="print full metadata instead of the bare "
                             "estimate")
+    query.add_argument("--window", type=_window_arg, default=None,
+                       metavar="SPAN",
+                       help="for windowed sketches: estimate only the "
+                            "trailing SPAN time units")
     query.set_defaults(func=_cmd_query)
     return parser
 

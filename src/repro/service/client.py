@@ -101,13 +101,17 @@ class ServiceClient:
                universe_bits: int = 0, eps: float = 0.8,
                delta: float = 0.2, thresh_constant: float = 96.0,
                repetitions_constant: float = 35.0, seed: int = 0,
-               shards: int = 1, ttl: Optional[float] = None) -> dict:
+               shards: int = 1, ttl: Optional[float] = None,
+               window: Optional[float] = None,
+               buckets: Optional[int] = None) -> dict:
         """Create a named server-side sketch.
 
         The arguments mirror :func:`repro.store.factory.build_sketch`;
         repeating them locally with the same ``seed`` builds a replica
         whose hash seeds match the server's, so its uploads merge
-        bit-exactly.
+        bit-exactly.  ``window`` (plus optional ``buckets``) makes the
+        sketch a sliding-window ring -- pair with :meth:`advance` and
+        ``estimate(..., window=span)``.
 
         Raises:
             ServiceError: 409 if the name already exists, 400 for
@@ -120,16 +124,47 @@ class ServiceClient:
                    "seed": seed, "shards": shards}
         if ttl is not None:
             payload["ttl"] = ttl
+        if window is not None:
+            payload["window"] = window
+        if buckets is not None:
+            payload["buckets"] = buckets
         return self._json("POST", "/v1/sketches", payload)
 
     def info(self, name: str) -> Dict[str, object]:
         """Metadata: kind, estimate, space/serialized footprints, ttl."""
         return self._json("GET", f"/v1/sketches/{self._seg(name)}")
 
-    def estimate(self, name: str) -> float:
-        """The named sketch's current F0 estimate."""
+    def estimate(self, name: str,
+                 window: Optional[float] = None) -> float:
+        """The named sketch's current F0 estimate.
+
+        Args:
+            name: the served sketch.
+            window: for windowed sketches, estimate the trailing
+                ``window`` time units instead of the full configured
+                window (``GET .../estimate?window=S``).
+
+        Raises:
+            ServiceError: 404 for an unknown name; 400 when ``window``
+                is passed for a sketch that is not windowed.
+        """
         path = f"/v1/sketches/{self._seg(name)}/estimate"
+        if window is not None:
+            path += "?" + urllib.parse.urlencode({"window": window})
         return float(self._json("GET", path)["estimate"])
+
+    def advance(self, name: str, now: float) -> int:
+        """Rotate a windowed sketch's ring to logical time ``now``.
+
+        Returns the number of ring buckets rotated (0 when ``now``
+        stays inside the current epoch or lags behind it).
+
+        Raises:
+            ServiceError: 404 for an unknown name, 400 for a sketch
+                that is not windowed.
+        """
+        path = f"/v1/sketches/{self._seg(name)}/advance"
+        return int(self._json("POST", path, {"now": now})["rotated"])
 
     def delete(self, name: str) -> None:
         """Drop the named sketch."""

@@ -51,6 +51,7 @@ import select
 import shutil
 import signal
 import socket
+import sys
 import tempfile
 import threading
 import time
@@ -70,6 +71,10 @@ Address = Tuple[str, int]
 #: shutdown-flag checks, and the idle keep-alive timeout on worker
 #: connections (bounds how long a drain can block on an idle client).
 _DRAIN_TIMEOUT = 2.0
+
+#: Seconds between liveness polls of the worker fleet (parent-side
+#: crash monitor).
+_MONITOR_INTERVAL = 0.2
 
 
 def _digest(frame: bytes) -> bytes:
@@ -165,7 +170,8 @@ class DeltaRouter:
             elif action is None and method == "DELETE":
                 self._publish_delete(name)
             elif method == "POST" \
-                    and action in ("ingest", "merge", "frames"):
+                    and action in ("ingest", "merge", "frames",
+                                   "advance"):
                 if self.interval > 0:
                     with self._dirty_lock:
                         self._dirty.add(name)
@@ -303,6 +309,17 @@ def _worker_main(worker_id: int, address: Address, router, procs: int,
             child_end.close()  # A held copy would mask peers' EOF.
     log = DeltaLog(log_dir, worker_id=worker_id, counter=counter,
                    peers=procs)
+    store = getattr(router, "store", None)
+    if store is not None:
+        try:
+            # Replay the whole log once, *including this worker's own
+            # records*: a respawned worker inherits the parent's stale
+            # store copy, and the normal fold path would skip its own
+            # pre-crash writes.  On a first start this is a cheap
+            # no-op; idempotent merges make the replay safe anyway.
+            log.fold_into(store, include_own=True)
+        except OSError:
+            pass
     delta_router = DeltaRouter(router, log, interval=interval)
     server = _WorkerServer(address, router=delta_router, verbose=verbose,
                            reuseport=(mode == "reuseport"),
@@ -407,6 +424,20 @@ class MultiprocFrontend:
         self._reader: Optional[DeltaLog] = None
         self._port: Optional[int] = None
         self._started = False
+        self._stopping = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._ctx = None
+        self._counter = None
+        self._worker_address: Optional[Address] = None
+        self._dead: Set[int] = set()
+        #: Workers the monitor found dead outside of shutdown.
+        self.worker_crashes = 0
+        #: Crashed workers successfully restarted under their original
+        #: worker id (so their delta-log slot keeps draining).
+        self.worker_respawns = 0
+        #: Respawn budget for the fleet's lifetime -- a crash-looping
+        #: worker must surface as a dead share, not burn CPU forever.
+        self.max_respawns = 3
 
     # -- contract ----------------------------------------------------------
 
@@ -452,6 +483,7 @@ class MultiprocFrontend:
                 "(unavailable on this platform); use --frontend "
                 "threading or asyncio")
         self._started = True
+        self._ctx = ctx
         host, port = self._address
         if self._delta_dir is None:
             self._delta_dir = tempfile.mkdtemp(prefix="repro-deltas-")
@@ -459,6 +491,7 @@ class MultiprocFrontend:
         else:
             os.makedirs(self._delta_dir, exist_ok=True)
         counter = ctx.Value("Q", 0)
+        self._counter = counter
         if self.mode == "reuseport":
             placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             placeholder.setsockopt(socket.SOL_SOCKET,
@@ -480,6 +513,7 @@ class MultiprocFrontend:
         ready_r, ready_w = os.pipe()
         try:
             worker_address = (host, self._port)
+            self._worker_address = worker_address
             for i in range(self.procs):
                 child = ctx.Process(
                     target=_worker_main,
@@ -509,6 +543,10 @@ class MultiprocFrontend:
             self._acceptor.start()
         self._reader = DeltaLog(self._delta_dir, worker_id=None,
                                 counter=counter, peers=self.procs)
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="f0-worker-monitor",
+                                         daemon=True)
+        self._monitor.start()
         return self
 
     def _await_ready(self, ready_r: int, timeout: float = 20.0) -> None:
@@ -551,6 +589,87 @@ class MultiprocFrontend:
                 pass  # Worker died; the client sees a reset.
             conn.close()  # The worker holds its own duplicate now.
 
+    # -- crash detection ---------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        """Watch the fleet; a dead worker is never a silent no-op.
+
+        A crashed worker (OOM kill, segfaulted extension, stray
+        ``kill -9``) would otherwise keep its ``SO_REUSEPORT`` share:
+        the kernel still hashes a fraction of new connections onto the
+        dead socket, and those clients see resets while every health
+        check on the surviving workers passes.  The monitor polls
+        liveness, logs a loud error for each crash, and -- in
+        reuseport mode, within :attr:`max_respawns` -- restarts the
+        worker under its *original* worker id so its delta-log slot
+        (fixed: peers poll files ``0..N-1``) resumes draining and its
+        pre-crash writes are recovered by the startup replay in
+        ``_worker_main``.
+        """
+        while not self._stopping.wait(_MONITOR_INTERVAL):
+            for index, child in enumerate(self._children):
+                if (index in self._dead or child.is_alive()
+                        or self._stopping.is_set()):
+                    continue
+                self.worker_crashes += 1
+                print(f"multiproc worker {child.name} died unexpectedly "
+                      f"(exit code {child.exitcode})",
+                      file=sys.stderr, flush=True)
+                if self._respawn(index):
+                    self.worker_respawns += 1
+                    print(f"multiproc worker {index} respawned "
+                          f"({self.worker_respawns}/{self.max_respawns} "
+                          f"respawns used)", file=sys.stderr, flush=True)
+                else:
+                    self._dead.add(index)
+                    print(f"multiproc worker {index} NOT respawned; "
+                          f"its port share is dead -- restart the "
+                          f"service", file=sys.stderr, flush=True)
+
+    def _respawn(self, index: int) -> bool:
+        """Restart worker ``index`` under its original id; True on
+        success.  Only reuseport mode is respawnable (fdpass workers
+        own a socketpair end the parent already closed)."""
+        if (self.mode != "reuseport"
+                or self.worker_respawns >= self.max_respawns
+                or self._stopping.is_set()):
+            return False
+        ready_r, ready_w = os.pipe()
+        child = None
+        try:
+            child = self._ctx.Process(
+                target=_worker_main,
+                args=(index, self._worker_address, self.router,
+                      self.procs, self.mode, self._delta_dir,
+                      self._counter, ready_w, (), None, self.verbose,
+                      self.delta_interval),
+                name=f"f0-multiproc-{index}", daemon=True)
+            child.start()
+            os.close(ready_w)
+            ready_w = -1
+            deadline = time.monotonic() + 20.0
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                readable, _, _ = select.select(
+                    [ready_r], [], [], min(remaining, 0.2))
+                if readable and os.read(ready_r, 1):
+                    self._children[index] = child
+                    return True
+                if not child.is_alive():
+                    break
+        except (OSError, ValueError):
+            pass
+        finally:
+            if ready_w >= 0:
+                os.close(ready_w)
+            os.close(ready_r)
+        if child is not None and child.is_alive():
+            child.kill()
+            child.join(timeout=5)
+        return False
+
     def stop(self) -> None:
         """Drain the fleet, fold every worker's deltas, release the port.
 
@@ -558,6 +677,10 @@ class MultiprocFrontend:
         the merged union of every worker's acknowledged writes -- the
         caller (``serve``) snapshots exactly once from it.
         """
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+            self._monitor = None
         if self._listener is not None:
             try:
                 self._listener.close()

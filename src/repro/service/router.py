@@ -19,7 +19,8 @@ Wire protocol (all JSON unless noted)::
                                           universe_bits, eps?, delta?,
                                           thresh_constant?,
                                           repetitions_constant?, seed?,
-                                          shards?, ttl?}
+                                          shards?, ttl?, window?,
+                                          buckets?}
     GET    /v1/sketches/N                 metadata (kind, estimate,
                                           footprints, ttl)
     PUT    /v1/sketches/N                 body = serialized sketch frame
@@ -27,7 +28,12 @@ Wire protocol (all JSON unless noted)::
     DELETE /v1/sketches/N                 drop the sketch
     GET    /v1/sketches/N/blob            serialized frame
                                           (application/octet-stream)
-    GET    /v1/sketches/N/estimate        {name, estimate}
+    GET    /v1/sketches/N/estimate        {name, estimate}; windowed
+                                          sketches accept ?window=S for
+                                          the trailing-span estimate
+    POST   /v1/sketches/N/advance         {now: float} -> rotate a
+                                          windowed sketch's ring to
+                                          logical time ``now``
     POST   /v1/sketches/N/ingest          {items: [int, ...]} ->
                                           {ingested}
     POST   /v1/sketches/N/merge           body = serialized sketch frame
@@ -188,7 +194,9 @@ class Router:
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch(self, method: str, path: str, body: bytes) -> Response:
-        path = path.split("?", 1)[0].rstrip("/")
+        path, _, query_string = path.partition("?")
+        query = urllib.parse.parse_qs(query_string)
+        path = path.rstrip("/")
         parts = [p for p in path.split("/") if p]
         if parts == ["healthz"] and method == "GET":
             # view_metrics exposes the serving process's cached-read
@@ -220,10 +228,22 @@ class Router:
         elif 2 <= len(rest) <= 3 and rest[0] == "sketches":
             name = urllib.parse.unquote(rest[1])
             action = rest[2] if len(rest) == 3 else None
-            response = self._sketch_op(method, name, action, body)
+            response = self._sketch_op(method, name, action, body, query)
             if response is not None:
                 return response
         raise RouteError(404, f"unknown path {path!r}")
+
+    @staticmethod
+    def _query_float(query: dict, key: str) -> Optional[float]:
+        """The last ``?key=`` value as a float, or None when absent."""
+        values = query.get(key)
+        if not values:
+            return None
+        try:
+            return float(values[-1])
+        except ValueError:
+            raise RouteError(400,
+                             f"query parameter {key!r} must be a number")
 
     @staticmethod
     def _json_body(body: bytes) -> dict:
@@ -240,9 +260,11 @@ class Router:
     # -- handlers ----------------------------------------------------------
 
     def _sketch_op(self, method: str, name: str, action: Optional[str],
-                   body: bytes) -> Optional[Response]:
+                   body: bytes,
+                   query: Optional[dict] = None) -> Optional[Response]:
         """Handle ``/v1/sketches/<name>[/<action>]``; None = no route."""
         store = self.store
+        query = query or {}
         if action is None:
             if method == "GET":
                 return Response.json(200, store.info(name))
@@ -262,8 +284,22 @@ class Router:
         if action == "blob" and method == "GET":
             return Response.blob(store.serialized(name))
         if action == "estimate" and method == "GET":
+            span = self._query_float(query, "window")
+            if span is not None:
+                return Response.json(
+                    200, {"name": name, "window": span,
+                          "estimate": store.estimate_window(name, span)})
             return Response.json(200, {"name": name,
                                        "estimate": store.estimate(name)})
+        if action == "advance" and method == "POST":
+            payload = self._json_body(body)
+            now = payload.get("now")
+            if not isinstance(now, (int, float)) \
+                    or isinstance(now, bool):
+                raise RouteError(400,
+                                 "advance body needs now: <number>")
+            rotated = store.advance(name, float(now))
+            return Response.json(200, {"name": name, "rotated": rotated})
         if action == "ingest" and method == "POST":
             payload = self._json_body(body)
             items = payload.get("items")
@@ -301,9 +337,14 @@ class Router:
             thresh_constant=float(payload.get("thresh_constant", 96.0)),
             repetitions_constant=float(
                 payload.get("repetitions_constant", 35.0)))
-        sketch = build_sketch(kind, int(payload.get("universe_bits", 0)),
-                              params, seed=int(payload.get("seed", 0)),
-                              shards=int(payload.get("shards", 1)))
+        window = payload.get("window")
+        buckets = payload.get("buckets")
+        sketch = build_sketch(
+            kind, int(payload.get("universe_bits", 0)), params,
+            seed=int(payload.get("seed", 0)),
+            shards=int(payload.get("shards", 1)),
+            window=float(window) if window is not None else None,
+            buckets=int(buckets) if buckets is not None else None)
         ttl = payload.get("ttl")
         self.store.create(name, sketch, ttl=float(ttl) if ttl else None)
         return Response.json(201, {"created": name, "kind": kind})

@@ -195,6 +195,66 @@ class F0Server(ThreadingHTTPServer):
         self.server_close()
 
 
+class TTLSweeper:
+    """A background thread that periodically sheds expired entries.
+
+    The store's TTL reaping is otherwise lazy (an expired entry
+    disappears when the *next* operation touches it -- see
+    :meth:`~repro.store.store.SketchStore.evict_expired`), so a
+    long-lived service whose stale names are never read again would
+    hold their memory forever.  The sweeper closes that gap: every
+    ``interval`` seconds it calls ``store.evict_expired()`` on the live
+    store, so expiry frees memory even with zero read traffic.
+
+    Args:
+        store: the :class:`~repro.store.store.SketchStore` to sweep.
+        interval: seconds between sweeps (must be > 0).
+
+    The thread is a daemon; :meth:`stop` drains it (signals the loop,
+    runs one final sweep, joins), so shutdown never races a sweep
+    against store teardown.
+    """
+
+    def __init__(self, store: SketchStore, interval: float) -> None:
+        if not interval > 0:
+            raise ReproError("sweep interval must be > 0 seconds")
+        self.store = store
+        self.interval = float(interval)
+        #: Total entries evicted across all sweeps (a test/ops metric).
+        self.evicted = 0
+        #: Number of completed sweep passes.
+        self.sweeps = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _sweep_once(self) -> None:
+        self.evicted += len(self.store.evict_expired())
+        self.sweeps += 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sweep_once()
+
+    def start(self) -> "TTLSweeper":
+        """Start sweeping from a daemon thread; returns self."""
+        if self._thread is not None:
+            raise ReproError("sweeper already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="f0-ttl-sweeper",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the sweeper: stop the loop, final sweep, join."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._sweep_once()
+
+
 def serve(host: str = "127.0.0.1", port: int = 8080,
           store: Optional[SketchStore] = None,
           snapshot_path: Optional[str] = None,
@@ -202,7 +262,8 @@ def serve(host: str = "127.0.0.1", port: int = 8080,
           frontend: str = "threading",
           snapshot_on_exit: Optional[str] = None,
           router=None, procs: Optional[int] = None,
-          delta_interval: Optional[float] = None) -> None:
+          delta_interval: Optional[float] = None,
+          sweep_interval: Optional[float] = None) -> None:
     """Run the service in the foreground (the ``repro serve`` verb).
 
     SIGTERM and SIGINT both shut the service down gracefully: in-flight
@@ -234,9 +295,14 @@ def serve(host: str = "127.0.0.1", port: int = 8080,
         delta_interval: multiproc publish coalescing interval in
             seconds (``None``/0 publishes each acknowledged mutation
             immediately).
+        sweep_interval: run a :class:`TTLSweeper` over the backing
+            store every this many seconds, so TTL-expired entries are
+            shed even when nothing reads them (``None`` keeps reaping
+            lazy).  Requires a router with a store.
 
     Raises:
-        ReproError: ``restore=True`` without a ``snapshot_path``, or an
+        ReproError: ``restore=True`` without a ``snapshot_path``, a
+            ``sweep_interval`` on a store-less gateway router, or an
             unknown front-end name.
     """
     from repro.service.frontends import create_frontend
@@ -258,6 +324,14 @@ def serve(host: str = "127.0.0.1", port: int = 8080,
         except FileNotFoundError:
             print(f"no snapshot at {snapshot_path}; starting empty")
 
+    sweeper: Optional[TTLSweeper] = None
+    if sweep_interval is not None:
+        if backing is None:
+            raise ReproError(
+                "sweep interval given but this router holds no store "
+                "to sweep")
+        sweeper = TTLSweeper(backing, sweep_interval)
+
     stop_event = threading.Event()
 
     def _on_signal(signum, frame) -> None:
@@ -271,6 +345,8 @@ def serve(host: str = "127.0.0.1", port: int = 8080,
             pass
 
     server.start_background()
+    if sweeper is not None:
+        sweeper.start()
     print(f"serving F0 sketch store on {server.url} "
           f"({frontend} front end)", flush=True)
     try:
@@ -279,6 +355,8 @@ def serve(host: str = "127.0.0.1", port: int = 8080,
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
+        if sweeper is not None:
+            sweeper.stop()
         server.stop()
         if snapshot_on_exit and backing is not None:
             count = backing.snapshot(snapshot_on_exit)

@@ -20,6 +20,7 @@ from repro.streaming.exact import ExactF0
 from repro.streaming.flajolet_martin import FlajoletMartinF0
 from repro.streaming.minimum import MinimumF0
 from repro.streaming.sharded import ShardedF0
+from repro.streaming.windowed import WindowedF0
 
 #: The sketch kinds a client may name (CLI ``--sketch``, service
 #: ``kind`` field).  Order is the display order of help strings.
@@ -29,9 +30,17 @@ SKETCH_KINDS = ("minimum", "estimation", "bucketing", "fm", "exact")
 DEFAULT_PARAMS = SketchParams(eps=0.8, delta=0.2)
 
 
+#: Ring size used when a window span is requested without an explicit
+#: bucket count (CLI ``--window`` without ``--buckets``, service
+#: ``window`` without ``buckets``).
+DEFAULT_WINDOW_BUCKETS = 8
+
+
 def build_sketch(kind: str, universe_bits: int,
                  params: Optional[SketchParams] = None,
-                 seed: int = 0, shards: int = 1) -> F0Sketch:
+                 seed: int = 0, shards: int = 1,
+                 window: Optional[float] = None,
+                 buckets: Optional[int] = None) -> F0Sketch:
     """Build a fresh (empty) sketch of a named kind.
 
     Args:
@@ -46,14 +55,26 @@ def build_sketch(kind: str, universe_bits: int,
             prototype.
         shards: wrap the sketch in a :class:`ShardedF0` with this many
             replicas when > 1.
+        window: wrap the sketch in a
+            :class:`~repro.streaming.windowed.WindowedF0` spanning this
+            much logical time (sliding-window distinct counts; rotated
+            by explicit ``advance`` calls).
+        buckets: ring size for ``window``
+            (:data:`DEFAULT_WINDOW_BUCKETS` when omitted; requires
+            ``window``).
+
+    Window wrapping happens *inside* shard wrapping: with both set,
+    each of the ``shards`` replicas is a full windowed ring sharing the
+    same seeds, so rotation and merging stay aligned across shards.
 
     Returns:
         An empty sketch implementing the full
         :class:`~repro.streaming.base.F0Sketch` contract.
 
     Raises:
-        InvalidParameterError: unknown ``kind``, or a non-positive
-            ``universe_bits`` for a hashed kind.
+        InvalidParameterError: unknown ``kind``, a non-positive
+            ``universe_bits`` for a hashed kind, or ``buckets`` without
+            ``window``.
     """
     if kind not in SKETCH_KINDS:
         raise InvalidParameterError(
@@ -75,6 +96,13 @@ def build_sketch(kind: str, universe_bits: int,
             cls = {"minimum": MinimumF0, "estimation": EstimationF0,
                    "bucketing": BucketingF0}[kind]
             sketch = cls(universe_bits, params, rng)
+    if window is not None:
+        sketch = WindowedF0(sketch, window,
+                            buckets=(buckets if buckets is not None
+                                     else DEFAULT_WINDOW_BUCKETS))
+    elif buckets is not None:
+        raise InvalidParameterError(
+            "buckets only applies to windowed sketches; set window too")
     if shards > 1:
         sketch = ShardedF0(sketch, shards)
     return sketch

@@ -1,7 +1,7 @@
 """The versioned binary wire format for F0 sketches and hash functions.
 
 Every :class:`~repro.streaming.base.F0Sketch` implementation (Minimum,
-Estimation, Bucketing, FlajoletMartin, Exact, Sharded) and the hash
+Estimation, Bucketing, FlajoletMartin, Exact, Sharded, Windowed) and the hash
 functions they embed (:class:`~repro.hashing.base.LinearHash`,
 :class:`~repro.hashing.kwise.KWiseHash`) serialize through one pair of
 functions, :func:`dumps` / :func:`loads`.
@@ -50,6 +50,7 @@ from repro.streaming.exact import ExactF0
 from repro.streaming.flajolet_martin import FlajoletMartinF0
 from repro.streaming.minimum import MinimumF0, MinimumRow
 from repro.streaming.sharded import ShardedF0
+from repro.streaming.windowed import WindowedF0
 
 #: First four bytes of every serialized object.
 MAGIC = b"RF0S"
@@ -75,6 +76,7 @@ KIND_BUCKETING = 0x12
 KIND_FM = 0x13
 KIND_EXACT = 0x14
 KIND_SHARDED = 0x15
+KIND_WINDOWED = 0x16
 
 
 # --------------------------------------------------------------------------
@@ -454,6 +456,69 @@ def _dec_sharded(r: _Reader) -> ShardedF0:
     return sk
 
 
+def _enc_windowed(out: List[bytes], sk: WindowedF0) -> None:
+    # The pristine prototype and every ring bucket nest as full
+    # self-describing frames (the ShardedF0 pattern): one decode path,
+    # and a restored window keeps minting evicted buckets from the
+    # exact seeds the original drew.
+    _w_f64(out, sk.window)
+    _w_u32(out, len(sk.buckets))
+    _w_i64(out, sk._epoch)
+    _w_u64(out, sk.evictions)
+    proto = dumps(sk._proto)
+    _w_u32(out, len(proto))
+    out.append(proto)
+    for idx, bucket in enumerate(sk.buckets):
+        _w_i64(out, sk._bucket_epochs[idx])
+        _w_u64(out, 1 if sk._bucket_dirty[idx] else 0)
+        blob = dumps(bucket)
+        _w_u32(out, len(blob))
+        out.append(blob)
+
+
+def _dec_windowed(r: _Reader) -> WindowedF0:
+    window = r.f64()
+    count = r.u32()
+    epoch = r.i64()
+    evictions = r.u64()
+    if not window > 0:
+        raise StoreFormatError("windowed span must be positive")
+    if count < 1:
+        raise StoreFormatError("a windowed sketch needs >= 1 bucket")
+    proto = loads(r._take(r.u32()))
+    buckets: List[object] = []
+    bucket_epochs: List[int] = []
+    bucket_dirty: List[bool] = []
+    for idx in range(count):
+        bucket_epoch = r.i64()
+        dirty = r.u64()
+        bucket = loads(r._take(r.u32()))
+        if not epoch - count < bucket_epoch <= epoch:
+            raise StoreFormatError("windowed bucket epoch outside the "
+                                   "live ring")
+        if bucket_epoch % count != idx:
+            raise StoreFormatError("windowed bucket epoch misplaced in "
+                                   "the ring")
+        buckets.append(bucket)
+        bucket_epochs.append(bucket_epoch)
+        bucket_dirty.append(bool(dirty))
+    for nested in [proto] + buckets:
+        if isinstance(nested, (LinearHash, KWiseHash)):
+            raise StoreFormatError("a windowed frame holds a hash, not "
+                                   "a sketch")
+    sk = object.__new__(WindowedF0)
+    sk.window = window
+    sk._proto = proto
+    sk.buckets = buckets
+    sk._epoch = epoch
+    sk._bucket_epochs = bucket_epochs
+    sk._bucket_dirty = bucket_dirty
+    sk.evictions = evictions
+    sk._clock = None
+    sk._init_caches()
+    return sk
+
+
 _Encoder = Callable[[List[bytes], object], None]
 _Decoder = Callable[[_Reader], object]
 
@@ -466,6 +531,7 @@ _ENCODERS: Dict[type, Tuple[int, _Encoder]] = {
     FlajoletMartinF0: (KIND_FM, _enc_fm),
     ExactF0: (KIND_EXACT, _enc_exact),
     ShardedF0: (KIND_SHARDED, _enc_sharded),
+    WindowedF0: (KIND_WINDOWED, _enc_windowed),
 }
 
 _DECODERS: Dict[int, _Decoder] = {
@@ -477,6 +543,7 @@ _DECODERS: Dict[int, _Decoder] = {
     KIND_FM: _dec_fm,
     KIND_EXACT: _dec_exact,
     KIND_SHARDED: _dec_sharded,
+    KIND_WINDOWED: _dec_windowed,
 }
 
 
@@ -545,7 +612,7 @@ def loads(data: bytes):
 #: The sketch classes (everything :func:`dumps` accepts except the bare
 #: hash functions); what :func:`loads_sketch` constrains decodes to.
 SKETCH_TYPES = (MinimumF0, EstimationF0, BucketingF0, FlajoletMartinF0,
-                ExactF0, ShardedF0)
+                ExactF0, ShardedF0, WindowedF0)
 
 
 def loads_sketch(data: bytes):

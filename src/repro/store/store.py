@@ -36,7 +36,10 @@ TTL semantics
 An entry created with ``ttl=T`` expires ``T`` seconds after its last
 *mutation* (create, ingest, merge, replace); reads do not refresh it.
 Expired entries are reaped lazily on access and by
-:meth:`evict_expired` (a service loop calls it periodically).  The
+:meth:`evict_expired` -- the
+:class:`~repro.service.server.TTLSweeper` thread (enabled with
+``repro serve --sweep-interval``) calls it periodically, so a live
+service sheds expired entries even when nothing reads them.  The
 clock is injectable for tests and defaults to ``time.monotonic``;
 snapshots persist each entry's ``ttl`` but restart its countdown on
 restore (a restored store has no meaningful "time since mutation").
@@ -289,6 +292,57 @@ class SketchStore:
             entry.sketch.merge(incoming)
             entry.version += 1
             entry.updated_at = self._clock()
+
+    def advance(self, name: str, now: float) -> int:
+        """Rotate a windowed sketch's ring to logical time ``now``.
+
+        A mutation like any other: it runs under the entry lock, bumps
+        the version counter (invalidating the cached view) and
+        refreshes the TTL stamp.  Time never moves backwards, so
+        replaying an advance is harmless.
+
+        Returns the number of ring buckets rotated.
+
+        Raises:
+            SketchNotFoundError: no live sketch under ``name``.
+            ReproError: the stored sketch is not windowed (see
+                :class:`~repro.streaming.windowed.WindowedF0`).
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            rotate = getattr(entry.sketch, "advance", None)
+            if rotate is None:
+                raise ReproError(
+                    f"sketch {name!r} "
+                    f"({type(entry.sketch).__name__}) is not windowed: "
+                    f"nothing to advance")
+            rotated = rotate(float(now))
+            entry.version += 1
+            entry.updated_at = self._clock()
+        return rotated
+
+    def estimate_window(self, name: str, span: float) -> float:
+        """A windowed sketch's estimate over the trailing ``span``.
+
+        Runs under the entry lock (partial-span merges are built inside
+        the sketch and memoised there, so repeated reads of a quiet
+        window stay cheap) and never rotates the ring -- pair with
+        :meth:`advance` to move time forward.
+
+        Raises:
+            SketchNotFoundError: no live sketch under ``name``.
+            ReproError: the stored sketch is not windowed, or ``span``
+                is outside ``(0, window]``.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            reader = getattr(entry.sketch, "estimate_window", None)
+            if reader is None:
+                raise ReproError(
+                    f"sketch {name!r} "
+                    f"({type(entry.sketch).__name__}) is not windowed: "
+                    f"no windowed estimates")
+            return reader(float(span))
 
     def put(self, name: str, sketch, ttl: Optional[float] = None,
             merge: bool = False) -> None:

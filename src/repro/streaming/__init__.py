@@ -18,7 +18,9 @@ constants ``Thresh = 96/eps^2`` and ``t = 35 log(1/delta)``.  The
 :func:`compute_f0` driver chunks any iterable through the batch paths,
 and :class:`ShardedF0` partitions a stream across sketch replicas and
 merges -- both bit-identical to scalar ingestion by the sketches'
-set-semantics invariant.
+set-semantics invariant.  :class:`WindowedF0` wraps any of them in a
+ring of mergeable sub-sketches with TTL rotation for sliding-window
+("uniques in the last hour") estimates.
 """
 
 from repro.streaming.base import (
@@ -41,6 +43,7 @@ from repro.streaming.streams import (
     shuffled_stream_with_f0,
     zipf_like_stream,
 )
+from repro.streaming.windowed import WindowedF0
 
 __all__ = [
     "BucketingF0",
@@ -56,6 +59,7 @@ __all__ = [
     "MinimumRow",
     "ShardedF0",
     "SketchParams",
+    "WindowedF0",
     "chunked",
     "compute_f0",
     "iter_shuffled_stream_with_f0",

@@ -184,6 +184,33 @@ class ShardedF0:
         return self._estimate_cache.get_or_build(
             self._version, lambda: self.merged_view().estimate())
 
+    def advance(self, now: float) -> int:
+        """Rotate windowed shards forward to logical time ``now``.
+
+        Forwarded to every shard (they share geometry, so all rotate in
+        lock-step) and returns the buckets rotated on shard 0.
+
+        Raises:
+            InvalidParameterError: the shards are not windowed (see
+                :class:`~repro.streaming.windowed.WindowedF0`).
+        """
+        if not hasattr(self.shards[0], "advance"):
+            raise InvalidParameterError(
+                "sharded sketch is not windowed: nothing to advance")
+        rotated = 0
+        for index, shard in enumerate(self.shards):
+            count = shard.advance(now)
+            if index == 0:
+                rotated = count
+        self._version += 1
+        return rotated
+
+    def estimate_window(self, span: float) -> float:
+        """Windowed estimate of the merged view (shards merge first, so
+        the answer is bit-identical to an unsharded window fed the same
+        stream)."""
+        return self.merged_view().estimate_window(span)
+
     def space_bits(self) -> int:
         """Total footprint across shards (what a k-site run would hold)."""
         return sum(shard.space_bits() for shard in self.shards)

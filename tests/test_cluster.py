@@ -393,3 +393,88 @@ class TestRebalance:
                 assert grown.estimate(name) == before[name], name
         finally:
             third.stop()
+
+
+class TestRebalanceUnderLoad:
+    """Satellite of ISSUE 10: online rebalance races live writes.
+
+    Writers keep pushing through the *old* topology while frames are
+    streaming to a third node; a final catch-up pass then converges
+    the new owners.  Set semantics are what make this safe: merge-on-
+    put re-applies any frame or write idempotently, so every replica
+    must end bit-identical to a serial reference over all items.
+    """
+
+    NAMES = [f"load-{i}" for i in range(8)]
+
+    @pytest.mark.slow
+    def test_rebalance_races_concurrent_writes(self, two_nodes):
+        import threading
+
+        from repro.distributed.cluster import rebalance
+        from repro.store.serialize import dumps
+
+        old_urls = [n.url for n in two_nodes]
+        cluster = ClusterClient(old_urls, replication=2, timeout=10.0)
+        base = {name: stream(10, 200, seed=index)
+                for index, name in enumerate(self.NAMES)}
+        extra = {name: stream(10, 150, seed=1000 + index)
+                 for index, name in enumerate(self.NAMES)}
+        for name in self.NAMES:
+            cluster.create(name, kind="minimum", universe_bits=10,
+                           seed=4, **CREATE_KWARGS)
+            cluster.ingest(name, base[name])
+
+        third = F0Server(("127.0.0.1", 0)).start_background()
+        try:
+            new_urls = old_urls + [third.url]
+            errors = []
+
+            def writer(names):
+                try:
+                    wclient = ClusterClient(old_urls, replication=2,
+                                            timeout=10.0)
+                    for name in names:
+                        items = extra[name]
+                        for start in range(0, len(items), 25):
+                            wclient.ingest(name,
+                                           items[start:start + 25])
+                except Exception as exc:  # Surface in the main thread.
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=writer,
+                                 args=(self.NAMES[index::2],))
+                for index in range(2)]
+            for thread in threads:
+                thread.start()
+            # Race: frames stream to the third node while the writers
+            # keep mutating their sources through the old topology.
+            rebalance(old_urls, new_urls, replication=2)
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors, errors
+            # Catch-up pass: re-copy anything written to an old owner
+            # after its frame had already crossed (merge-on-put makes
+            # the re-copy idempotent).
+            rebalance(old_urls, new_urls, replication=2)
+
+            reference_frames = {}
+            for index, name in enumerate(self.NAMES):
+                ref = build_sketch("minimum", 10, SMALL, seed=4)
+                ref.process_batch(base[name])
+                ref.process_batch(extra[name])
+                reference_frames[name] = dumps(ref)
+            new_cluster = ClusterClient(new_urls, replication=2,
+                                        timeout=10.0)
+            ring = HashRing(new_urls)
+            for name in self.NAMES:
+                expected = reference_frames[name]
+                # Merged read through the new topology...
+                assert (dumps(new_cluster.fetch(name)) == expected), name
+                # ...and each replica, bit-for-bit.
+                for owner in ring.nodes_for(name, 2):
+                    frame = ServiceClient(owner).fetch_frame(name)
+                    assert frame == expected, (name, owner)
+        finally:
+            third.stop()

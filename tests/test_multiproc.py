@@ -285,3 +285,85 @@ class TestReadAfterWrite:
                 == _sketch(items).estimate()
         finally:
             frontend.stop()
+
+
+class TestWorkerCrash:
+    """Satellite of ISSUE 10: a SIGKILLed worker must never silently
+    drop its reuseport share.  The parent's monitor detects the dead
+    child, logs a loud error, and respawns it under the *original*
+    worker id -- so its fixed delta-log slot resumes draining and its
+    pre-crash acknowledged writes are recovered by the startup replay.
+    """
+
+    def _wait(self, predicate, timeout=15.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.05)
+        return predicate()
+
+    def test_sigkilled_worker_detected_and_respawned(self, capfd):
+        import os
+        import signal as _signal
+
+        frontend = MultiprocFrontend(("127.0.0.1", 0), Router(),
+                                     procs=2, mode="reuseport",
+                                     delta_interval=0.0)
+        frontend.start_background()
+        try:
+            client = ServiceClient(frontend.url)
+            client.create("survivor", **CREATE_KWARGS)
+            # Acknowledged pre-crash writes from (potentially) both
+            # workers' stores.
+            for batch in ([1, 2, 3], [4, 5], [6]):
+                ServiceClient(frontend.url).ingest("survivor", batch)
+            victim = frontend._children[0]
+            os.kill(victim.pid, _signal.SIGKILL)
+            assert self._wait(lambda: frontend.worker_respawns == 1), \
+                "monitor never respawned the killed worker"
+            assert frontend.worker_crashes == 1
+            err = capfd.readouterr().err
+            assert "died unexpectedly" in err
+            assert "respawned" in err
+            # The replacement holds the original worker id (fixed
+            # delta-log slot) and is alive.
+            assert frontend._children[0].is_alive()
+            assert frontend._children[0].name == "f0-multiproc-0"
+            # Mid-load after the crash: every acknowledged write --
+            # including the dead worker's pre-crash deltas -- is still
+            # visible through whichever worker answers.
+            reference = _sketch([1, 2, 3, 4, 5, 6])
+            for _ in range(4):  # Fresh connections spread over workers.
+                est = ServiceClient(frontend.url).estimate("survivor")
+                assert est == reference.estimate()
+            ServiceClient(frontend.url).ingest("survivor", [7, 8])
+            reference.process_batch([7, 8])
+            assert (ServiceClient(frontend.url).estimate("survivor")
+                    == reference.estimate())
+        finally:
+            frontend.stop()
+        assert frontend.worker_crashes == 1  # Shutdown counted no crash.
+
+    def test_respawn_budget_exhaustion_surfaces_dead_share(self, capfd):
+        import os
+        import signal as _signal
+
+        frontend = MultiprocFrontend(("127.0.0.1", 0), Router(),
+                                     procs=2, mode="reuseport",
+                                     delta_interval=0.0)
+        frontend.max_respawns = 0  # Force the no-respawn path.
+        frontend.start_background()
+        try:
+            victim = frontend._children[1]
+            os.kill(victim.pid, _signal.SIGKILL)
+            assert self._wait(lambda: frontend.worker_crashes == 1)
+            assert self._wait(lambda: 1 in frontend._dead)
+            err = capfd.readouterr().err
+            assert "died unexpectedly" in err
+            assert "NOT respawned" in err
+            assert frontend.worker_respawns == 0
+        finally:
+            frontend.stop()

@@ -504,3 +504,74 @@ class TestGracefulShutdown:
         reference.process_batch([x for batch in batches for x in batch])
         assert store.estimate("persisted") == reference.estimate()
         assert store.serialized("persisted") == dumps(reference)
+
+
+class TestTTLSweeper:
+    """Satellite of ISSUE 10: expiry must not depend on read traffic.
+
+    The store's TTL reaping is lazy; a live service needs the
+    :class:`~repro.service.server.TTLSweeper` thread so an expired
+    entry disappears even when nothing ever reads it again.
+    """
+
+    def test_expired_entry_leaves_live_service_without_reads(self):
+        from repro.service.server import TTLSweeper
+        from repro.store import SketchStore
+        import time as _time
+
+        clock = [0.0]
+        store = SketchStore(clock=lambda: clock[0])
+        server = F0Server(("127.0.0.1", 0), store=store)
+        server.start_background()
+        sweeper = TTLSweeper(store, interval=0.02)
+        sweeper.start()
+        try:
+            client = ServiceClient(server.url)
+            client.create("ephemeral", kind="exact", ttl=5.0)
+            client.create("durable", kind="exact")
+            clock[0] = 10.0  # Past the TTL; nothing reads the entry.
+            deadline = _time.monotonic() + 5.0
+            # Watch the raw registry: no store API call (which would
+            # itself lazily reap) ever touches the expired name.
+            while ("ephemeral" in store._entries
+                   and _time.monotonic() < deadline):
+                _time.sleep(0.01)
+            assert "ephemeral" not in store._entries
+            assert "durable" in store._entries
+            assert sweeper.evicted == 1
+        finally:
+            sweeper.stop()
+            server.stop()
+
+    def test_stop_drains_with_final_sweep(self):
+        from repro.service.server import TTLSweeper
+        from repro.store import SketchStore
+
+        clock = [0.0]
+        store = SketchStore(clock=lambda: clock[0])
+        store.create("gone", build_sketch("exact", 0), ttl=1.0)
+        sweeper = TTLSweeper(store, interval=3600.0)  # Never fires.
+        sweeper.start()
+        clock[0] = 10.0
+        sweeper.stop()  # The drain runs one final sweep.
+        assert "gone" not in store._entries
+        assert sweeper.evicted == 1
+        assert sweeper.sweeps >= 1
+
+    def test_interval_validation(self):
+        from repro.common.errors import ReproError
+        from repro.service.server import TTLSweeper
+        from repro.store import SketchStore
+
+        with pytest.raises(ReproError):
+            TTLSweeper(SketchStore(), interval=0.0)
+
+    def test_serve_rejects_sweep_on_storeless_gateway(self):
+        from repro.common.errors import ReproError
+        from repro.service.server import serve
+
+        class _StorelessRouter:
+            pass
+
+        with pytest.raises(ReproError):
+            serve(port=0, router=_StorelessRouter(), sweep_interval=1.0)
